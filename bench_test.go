@@ -1,0 +1,234 @@
+// Package bench provides one testing.B benchmark per figure of the
+// paper's evaluation. Each benchmark regenerates its figure on the
+// emulated substrate (reduced grids — pass -fig flags to
+// cmd/proteusbench for paper-scale runs) and reports the figure's
+// headline quantity as a custom benchmark metric, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as a one-shot reproduction of the whole evaluation.
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"pccproteus/internal/equi"
+	"pccproteus/internal/exp"
+	"pccproteus/internal/stats"
+)
+
+func opts() exp.Options { return exp.Options{Fast: true, Trials: 1} }
+
+// metricName makes a series label safe for testing.B.ReportMetric,
+// whose unit must not contain whitespace.
+func metricName(prefix, label string) string {
+	return prefix + strings.ReplaceAll(label, " ", "_")
+}
+
+func BenchmarkFig02RTTDeviationIndicator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig2(opts())
+		b.ReportMetric(r.DevConfusion, "dev-confusion")
+		b.ReportMetric(r.GradConfusion, "grad-confusion")
+	}
+}
+
+func BenchmarkFig03BufferSaturation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tput, _ := exp.Fig3(opts(), []string{exp.ProtoProteusP, exp.ProtoLEDBAT})
+		// Headline: Proteus-P throughput at the smallest buffer that fits
+		// a pacing train.
+		b.ReportMetric(tput.Rows[1].Cells[0], "proteus-Mbps@37.5KB")
+		b.ReportMetric(tput.Rows[1].Cells[1], "ledbat-Mbps@37.5KB")
+	}
+}
+
+func BenchmarkFig04LossTolerance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Fig4(opts(), []string{exp.ProtoProteusP, exp.ProtoLEDBAT})
+		last := t.Rows[len(t.Rows)-1]
+		b.ReportMetric(last.Cells[0], "proteus-Mbps@5pct")
+		b.ReportMetric(last.Cells[1], "ledbat-Mbps@5pct")
+	}
+}
+
+func BenchmarkFig05Fairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Fig5(opts(), []string{exp.ProtoProteusS, exp.ProtoLEDBAT})
+		last := t.Rows[len(t.Rows)-1]
+		b.ReportMetric(last.Cells[0], "proteusS-jain")
+		b.ReportMetric(last.Cells[1], "ledbat-jain")
+	}
+}
+
+func BenchmarkFig06Yielding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := exp.Fig6(opts(), []string{exp.ProtoProteusS, exp.ProtoLEDBAT})
+		var pSum, lSum float64
+		var pN, lN int
+		for _, c := range cells {
+			if c.Scavenger == exp.ProtoProteusS {
+				pSum += c.PrimaryRatio
+				pN++
+			} else {
+				lSum += c.PrimaryRatio
+				lN++
+			}
+		}
+		b.ReportMetric(pSum/float64(pN), "proteusS-mean-primary-ratio")
+		b.ReportMetric(lSum/float64(lN), "ledbat-mean-primary-ratio")
+	}
+}
+
+func BenchmarkFig07RTTRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := exp.Fig6(opts(), []string{exp.ProtoProteusS, exp.ProtoLEDBAT})
+		for _, c := range cells {
+			if c.BufBytes == 375000 && c.Primary == exp.ProtoCopa {
+				switch c.Scavenger {
+				case exp.ProtoProteusS:
+					b.ReportMetric(c.RTTRatio, "copa-rtt-ratio-vs-proteusS")
+				case exp.ProtoLEDBAT:
+					b.ReportMetric(c.RTTRatio, "copa-rtt-ratio-vs-ledbat")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig08BroadSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := exp.Fig8(opts(), []string{exp.ProtoBBR}, nil)
+		for _, s := range series {
+			b.ReportMetric(stats.Median(s.Values), metricName("median:", s.Name))
+		}
+	}
+}
+
+func BenchmarkFig09WiFiSingle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := exp.Fig9(opts(), []string{exp.ProtoProteusP, exp.ProtoVivace, exp.ProtoCubic})
+		for _, s := range series {
+			b.ReportMetric(stats.Median(s.Values), metricName("median-norm:", s.Name))
+		}
+	}
+}
+
+func BenchmarkFig10WiFiYield(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := exp.Fig10(opts(), []string{exp.ProtoBBR}, nil)
+		for _, s := range series {
+			b.ReportMetric(stats.Median(s.Values), metricName("median:", s.Name))
+		}
+	}
+}
+
+func BenchmarkFig11Applications(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Fig11Video(opts())
+		last := t.Rows[len(t.Rows)-1]
+		b.ReportMetric(last.Cells[1], "dash-Mbps-bg-proteusS")
+		b.ReportMetric(last.Cells[2], "dash-Mbps-bg-ledbat")
+		web := exp.Fig11Web(exp.Options{Fast: true, Trials: 1})
+		for _, s := range web {
+			if s.Name == "bg="+exp.ProtoProteusS || s.Name == "bg="+exp.ProtoLEDBAT {
+				b.ReportMetric(stats.Median(s.Values), metricName("plt-median:", s.Name))
+			}
+		}
+	}
+}
+
+func BenchmarkFig12HybridVideo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.Fig12(opts(), false)
+		for _, r := range res {
+			if r.BandwidthMbps == 110 || r.BandwidthMbps == 80 {
+				b.ReportMetric(r.Bitrate4K, metricName("4k-Mbps:", r.Mode))
+			}
+		}
+	}
+}
+
+func BenchmarkFig13ForcedMaxRebuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.Fig12(opts(), true)
+		for _, r := range res {
+			b.ReportMetric(r.Rebuf4K*100, metricName("4k-rebuf-pct:", r.Mode))
+		}
+	}
+}
+
+func BenchmarkFig14BBRS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := exp.Fig14(opts())
+		vs := series["bbr_vs_bbrs"]
+		half := len(vs[0].Mbps) / 2
+		b.ReportMetric(stats.Mean(vs[0].Mbps[half:]), "bbr-Mbps")
+		b.ReportMetric(stats.Mean(vs[1].Mbps[half:]), "bbrs-Mbps")
+	}
+}
+
+func BenchmarkFig15To17AppendixSingles(b *testing.B) {
+	protos := []string{exp.ProtoLEDBAT25, exp.ProtoLEDBAT, exp.ProtoProteusS}
+	for i := 0; i < b.N; i++ {
+		tput, _ := exp.Fig3(opts(), protos)
+		b.ReportMetric(tput.Rows[len(tput.Rows)-1].Cells[0], "ledbat25-Mbps@900KB")
+		t5 := exp.Fig5(opts(), protos)
+		last := t5.Rows[len(t5.Rows)-1]
+		b.ReportMetric(last.Cells[0], "ledbat25-jain")
+		b.ReportMetric(last.Cells[1], "ledbat100-jain")
+	}
+}
+
+func BenchmarkFig18FourFlowTimelines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := exp.Fig18(opts(), []string{exp.ProtoLEDBAT25, exp.ProtoLEDBAT})
+		for proto, series := range m {
+			var finals []float64
+			for _, s := range series {
+				xs := s.Mbps
+				finals = append(finals, stats.Mean(xs[len(xs)*3/4:]))
+			}
+			b.ReportMetric(stats.JainIndex(finals), metricName("final-jain:", proto))
+		}
+	}
+}
+
+func BenchmarkFig19LEDBAT25Yield(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := exp.Fig6(opts(), []string{exp.ProtoLEDBAT25})
+		for _, c := range cells {
+			if c.BufBytes == 375000 && c.Primary == exp.ProtoProteusP {
+				b.ReportMetric(c.PrimaryRatio, "proteusP-ratio-vs-ledbat25")
+			}
+		}
+	}
+}
+
+func BenchmarkFig21And22WiFiAppendix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := exp.Fig9(opts(), []string{exp.ProtoLEDBAT25, exp.ProtoLEDBAT})
+		for _, s := range series {
+			b.ReportMetric(stats.Median(s.Values), metricName("median-norm:", s.Name))
+		}
+	}
+}
+
+func BenchmarkAblationNoiseMechanisms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range exp.Ablation(opts()) {
+			b.ReportMetric(r.NoisySoloMbps, metricName("noisy-Mbps:", r.Variant))
+		}
+	}
+}
+
+func BenchmarkEquilibriumSolver(b *testing.B) {
+	p := equi.Default(100)
+	kinds := []equi.SenderKind{equi.Primary, equi.Primary, equi.Scavenger}
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Equilibrium(kinds, nil); !ok {
+			b.Fatal("no convergence")
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Command proteusbench regenerates the paper's evaluation figures on the
+// emulated network substrate and prints them as text tables.
+//
+// Usage:
+//
+//	proteusbench -fig 6                 # one figure at paper scale
+//	proteusbench -fig all -fast         # every figure, reduced grids
+//	proteusbench -fig 8 -trials 1       # heavy sweep, single trial
+//
+// Figure ids: 2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,
+// plus "ablation", "equilibrium", and the §7.2 extension "lte".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pccproteus/internal/equi"
+	"pccproteus/internal/exp"
+	"pccproteus/internal/stats"
+)
+
+var csvDir string
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (2..22, ablation, equilibrium, lte, all)")
+	fast := flag.Bool("fast", false, "reduced grids and durations")
+	trials := flag.Int("trials", 0, "trials per data point (0 = default)")
+	flag.StringVar(&csvDir, "csv", "", "also write plot-ready CSV files into this directory")
+	flag.Parse()
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "proteusbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	o := exp.Options{Fast: *fast, Trials: *trials}
+	ids := strings.Split(*fig, ",")
+	if *fig == "all" {
+		ids = []string{"2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13",
+			"14", "15", "16", "17", "18", "19", "21", "22", "ablation", "equilibrium"}
+	}
+	for _, id := range ids {
+		if err := run(strings.TrimSpace(id), o); err != nil {
+			fmt.Fprintf(os.Stderr, "proteusbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+var appendixSingles = []string{
+	exp.ProtoProteusS, exp.ProtoLEDBAT25, exp.ProtoLEDBAT, exp.ProtoCubic,
+	exp.ProtoBBR, exp.ProtoProteusP, exp.ProtoCopa, exp.ProtoVivace,
+}
+
+func run(id string, o exp.Options) error {
+	switch id {
+	case "2":
+		r := exp.Fig2(o)
+		fmt.Println("# Fig 2: PDF of RTT deviation/gradient under Poisson CUBIC arrivals")
+		for i, rate := range r.ArrivalRates {
+			fmt.Printf("arrival=%g/s  dev: mean=%.4fms p90=%.4fms   |grad|: mean=%.5f p90=%.5f\n",
+				rate,
+				histMean(r.DevHistograms[i])*1000, histP90(r.DevHistograms[i])*1000,
+				histMean(r.GradHistograms[i]), histP90(r.GradHistograms[i]))
+		}
+		fmt.Printf("confusion probability: deviation=%.4f  gradient=%.4f (paper: 0.006 vs 0.080)\n\n",
+			r.DevConfusion, r.GradConfusion)
+	case "3":
+		tput, infl := exp.Fig3(o, nil)
+		emit("fig3a", tput)
+		emit("fig3b", infl)
+	case "4":
+		emit("fig4", exp.Fig4(o, nil))
+	case "5":
+		emit("fig5", exp.Fig5(o, nil))
+	case "6", "7":
+		cells := exp.Fig6(o, nil)
+		for _, scv := range []string{exp.ProtoLEDBAT, exp.ProtoProteusS, exp.ProtoProteusP, exp.ProtoCopa} {
+			emit("fig6_"+scv, exp.Fig6Table(cells, scv))
+		}
+	case "8":
+		emitCDF("fig8", "Fig 8: primary throughput ratio over configuration sweep", exp.Fig8(o, nil, nil))
+	case "9":
+		emitCDF("fig9", "Fig 9: normalized single-flow throughput on WiFi-like paths", exp.Fig9(o, nil))
+	case "10":
+		emitCDF("fig10", "Fig 10: primary throughput ratio on WiFi-like paths", exp.Fig10(o, nil, nil))
+	case "11":
+		emit("fig11a", exp.Fig11Video(o))
+		emitCDF("fig11b", "Fig 11(b): page load time (s) with background flow", exp.Fig11Web(o))
+	case "12":
+		emit("fig12", exp.Fig12Table(exp.Fig12(o, false), false))
+	case "13":
+		emit("fig13", exp.Fig12Table(exp.Fig12(o, true), true))
+	case "14":
+		printTimelines("Fig 14: BBR-S throughput over time", exp.Fig14(o))
+	case "15":
+		tput, infl := exp.Fig3(o, appendixSingles)
+		fmt.Println(strings.Replace(tput.Render(), "Fig 3(a)", "Fig 15(a)", 1))
+		fmt.Println(strings.Replace(infl.Render(), "Fig 3(b)", "Fig 15(b)", 1))
+	case "16":
+		fmt.Println(strings.Replace(exp.Fig4(o, appendixSingles).Render(), "Fig 4", "Fig 16", 1))
+	case "17":
+		fmt.Println(strings.Replace(exp.Fig5(o, appendixSingles).Render(), "Fig 5", "Fig 17", 1))
+	case "18":
+		printTimelines("Fig 18: 4-flow competition over time", exp.Fig18(o, nil))
+	case "19", "20":
+		cells := exp.Fig6(o, []string{exp.ProtoLEDBAT25, exp.ProtoLEDBAT, exp.ProtoProteusS})
+		for _, scv := range []string{exp.ProtoLEDBAT25, exp.ProtoLEDBAT, exp.ProtoProteusS} {
+			fmt.Println(strings.Replace(exp.Fig6Table(cells, scv).Render(), "Fig 6", "Fig 19/20", 1))
+		}
+	case "21":
+		fmt.Println(exp.RenderCDFs("Fig 21: single-flow WiFi throughput incl. LEDBAT-25", exp.Fig9(o, appendixSingles)))
+	case "22":
+		fmt.Println(exp.RenderCDFs("Fig 22: WiFi yielding incl. LEDBAT-25",
+			exp.Fig10(o, nil, []string{exp.ProtoProteusS, exp.ProtoLEDBAT25, exp.ProtoLEDBAT})))
+	case "ablation":
+		emit("ablation", exp.AblationTable(exp.Ablation(o)))
+	case "lte":
+		emit("lte", exp.LTESolo(o, append(append([]string{}, exp.AllSingle...), exp.ProtoAllegro)))
+	case "equilibrium":
+		printEquilibrium()
+	default:
+		return fmt.Errorf("unknown figure %q", id)
+	}
+	return nil
+}
+
+// emit prints a table and, when -csv is set, writes it alongside.
+func emit(name string, t *exp.Table) {
+	fmt.Println(t.Render())
+	if csvDir == "" {
+		return
+	}
+	f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proteusbench: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		fmt.Fprintf(os.Stderr, "proteusbench: %v\n", err)
+	}
+}
+
+// emitCDF prints CDF summaries and optionally the long-form CSV.
+func emitCDF(name, title string, series []exp.CDFSeries) {
+	fmt.Println(exp.RenderCDFs(title, series))
+	if csvDir == "" {
+		return
+	}
+	f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proteusbench: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := exp.WriteCDFCSV(f, series); err != nil {
+		fmt.Fprintf(os.Stderr, "proteusbench: %v\n", err)
+	}
+}
+
+func printTimelines(title string, m map[string][]exp.TimelineSeries) {
+	fmt.Println("# " + title)
+	for name, series := range m {
+		fmt.Printf("## %s\n", name)
+		for _, s := range series {
+			fmt.Printf("%-12s", s.Name)
+			for i, v := range s.Mbps {
+				if i%10 == 0 {
+					fmt.Printf(" %5.1f", v)
+				}
+			}
+			fmt.Println()
+		}
+		// Steady-state summary over the second half.
+		var tputs []float64
+		for _, s := range series {
+			tputs = append(tputs, stats.Mean(s.Mbps[len(s.Mbps)/2:]))
+		}
+		fmt.Printf("steady-state Mbps: %v\n\n", tputs)
+	}
+}
+
+func printEquilibrium() {
+	fmt.Println("# Appendix A: numerical equilibria (probing-smoothed game, C=100 Mbps)")
+	p := equi.Default(100)
+	for _, n := range []int{2, 5, 10} {
+		kinds := make([]equi.SenderKind, n)
+		x, _ := p.Equilibrium(kinds, nil)
+		fmt.Printf("%d Proteus-P senders: per-flow %.2f Mbps (fair share of %.1f)\n", n, x[0], sum(x))
+	}
+	mixed, _ := p.EquilibriumAppendixA([]equi.SenderKind{equi.Primary, equi.Scavenger}, nil)
+	fmt.Printf("Appendix-A mixed P+S equilibrium: P=%.2f S=%.2f\n", mixed[0], mixed[1])
+	x1, x2 := equi.HybridPrediction(30, 40, 65)
+	fmt.Printf("Proteus-H prediction (r1=30, r2=40, C=65): (%.1f, %.1f)\n\n", x1, x2)
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func histMean(h *stats.Histogram) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	m := 0.0
+	for i, c := range h.Counts {
+		m += h.BinCenter(i) * float64(c)
+	}
+	return m / float64(h.N)
+}
+
+func histP90(h *stats.Histogram) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	cum := 0
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= 0.9*float64(h.N) {
+			return h.BinCenter(i)
+		}
+	}
+	return h.BinCenter(len(h.Counts) - 1)
+}

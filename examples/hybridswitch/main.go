@@ -1,0 +1,57 @@
+// Hybridswitch: the flexibility goal (§2.3) in action. A cloud-storage
+// sync flow runs as a scavenger; mid-flow the user opens one of the
+// files, so the application flips the SAME connection to primary mode
+// with a single API call, and later flips it back — no reconnect, no
+// second protocol stack.
+//
+//	go run ./examples/hybridswitch
+package main
+
+import (
+	"fmt"
+
+	"pccproteus/internal/core"
+	"pccproteus/internal/netem"
+	"pccproteus/internal/sim"
+	"pccproteus/internal/transport"
+)
+
+func main() {
+	s := sim.New(21)
+	link := netem.NewLink(s, 50, 375000, 0.015)
+	path := &netem.Path{Link: link, AckDelay: 0.015}
+
+	// A competing video call (primary) occupies the link throughout.
+	video := transport.NewSender(1, path, core.NewProteusP(s.Rand()))
+	video.Start()
+
+	// The cloud-sync flow starts as a scavenger...
+	sync := core.NewProteusS(s.Rand())
+	syncSnd := transport.NewSender(2, path, sync)
+	s.At(10, func() { syncSnd.Start() })
+
+	// ...the user clicks "open file" at t=80: flip to primary...
+	s.At(80, func() {
+		fmt.Println(">>> t=80: user requests a file — SetUtility(primary)")
+		sync.SetUtility(core.NewPrimary())
+	})
+	// ...and the download finishes at t=140: back to scavenging.
+	s.At(140, func() {
+		fmt.Println(">>> t=140: file delivered — SetUtility(scavenger)")
+		sync.SetUtility(core.NewScavenger())
+	})
+
+	fmt.Println("t(s)   video(Mbps)   sync(Mbps)   sync-utility")
+	var lastV, lastS int64
+	for t := 10.0; t <= 200; t += 10 {
+		t := t
+		s.At(t+0.001, func() {
+			v := float64(video.AckedBytes()-lastV) * 8 / 10 / 1e6
+			sy := float64(syncSnd.AckedBytes()-lastS) * 8 / 10 / 1e6
+			lastV, lastS = video.AckedBytes(), syncSnd.AckedBytes()
+			fmt.Printf("%4.0f %12.2f %12.2f   %s\n", t, v, sy, sync.Utility().Name())
+		})
+	}
+	s.Run(200)
+	fmt.Println("\nOne connection, one codebase, three service levels over its lifetime.")
+}

@@ -1,0 +1,3 @@
+module pccproteus
+
+go 1.22

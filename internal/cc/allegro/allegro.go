@@ -1,0 +1,60 @@
+// Package allegro implements PCC Allegro (Dong et al., NSDI '15), the
+// first protocol of the PCC family and the direct ancestor of Vivace
+// and Proteus (§8). Allegro shares the monitor-interval architecture but
+// uses a loss-based sigmoid utility,
+//
+//	u(x) = T·sigmoid(c·(L−0.05)) − x·L,
+//
+// where T is the achieved throughput and L the loss rate — it reacts
+// only to loss, not latency, and therefore bloats buffers (the paper:
+// "PCC Allegro … uses a loss-based utility function, and also suffers
+// from bufferbloat"). Its rate control is the original four-MI
+// consistency probing with multiplicative step escalation.
+//
+// Allegro is included as a baseline to exhibit exactly the shortcomings
+// that motivated Vivace's and Proteus's latency-aware designs.
+package allegro
+
+import (
+	"math"
+	"math/rand"
+
+	"pccproteus/internal/core"
+)
+
+// utility is Allegro's sigmoid loss utility expressed over the shared
+// Metrics type. Rates are in Mbps; the sigmoid steepness and the 5%
+// loss threshold follow the NSDI '15 design.
+type utility struct{}
+
+// Name implements core.UtilityFunc.
+func (utility) Name() string { return "allegro" }
+
+// Utility implements core.UtilityFunc.
+func (utility) Utility(m core.Metrics) float64 {
+	x := m.RateMbps
+	if x < 0 {
+		x = 0
+	}
+	goodput := x * (1 - m.LossRate)
+	// Sigmoid cutting in sharply above 5% loss (α=100 as in the paper's
+	// TCP-friendly variant).
+	sig := 1 / (1 + math.Exp(100*(m.LossRate-0.05)))
+	return goodput*sig - x*m.LossRate
+}
+
+// New returns a PCC Allegro controller: the shared PCC rate-control
+// machinery configured with Allegro's loss-only utility, two-pair
+// consistency probing, and no latency-noise mechanisms (it has no
+// latency terms to protect).
+func New(rng *rand.Rand) *core.Controller {
+	cfg := core.Config{
+		Rng:        rng,
+		ProbePairs: 2,
+		// No gradient tolerance needed — the utility ignores latency —
+		// but the field must be nonzero to select the fixed-threshold
+		// path rather than regression tolerance.
+		FixedGradTolerance: 1e9,
+	}
+	return core.New("allegro", cfg, utility{})
+}

@@ -1,0 +1,144 @@
+package bbr
+
+import (
+	"testing"
+
+	"pccproteus/internal/netem"
+	"pccproteus/internal/sim"
+	"pccproteus/internal/stats"
+	"pccproteus/internal/transport"
+)
+
+func path(s *sim.Sim, mbps float64, buf int, rtt float64) *netem.Path {
+	l := netem.NewLink(s, mbps, buf, rtt/2)
+	return &netem.Path{Link: l, AckDelay: rtt / 2}
+}
+
+func TestBBRSaturatesLink(t *testing.T) {
+	s := sim.New(1)
+	p := path(s, 50, 375000, 0.030)
+	cc := New()
+	snd := transport.NewSender(1, p, cc)
+	snd.Start()
+	var mark int64
+	s.At(10, func() { mark = snd.AckedBytes() })
+	s.Run(60)
+	tput := float64(snd.AckedBytes()-mark) * 8 / 50 / 1e6
+	if tput < 44 {
+		t.Fatalf("BBR throughput %.1f want ≥44", tput)
+	}
+	// Bandwidth estimate should be close to link rate.
+	if bw := cc.BtlBw() * 8 / 1e6; bw < 45 || bw > 60 {
+		t.Fatalf("btlbw estimate %.1f Mbps", bw)
+	}
+	if rt := cc.RTProp(); rt < 0.029 || rt > 0.040 {
+		t.Fatalf("rtprop estimate %.1f ms", rt*1000)
+	}
+}
+
+func TestBBRBoundsQueueUnlikeCubic(t *testing.T) {
+	s := sim.New(2)
+	p := path(s, 50, 750000, 0.030) // 4 BDP: room to bloat
+	snd := transport.NewSender(1, p, New())
+	snd.RecordRTT = true
+	snd.Start()
+	s.Run(60)
+	n := len(snd.RTTSamples())
+	p95 := stats.Percentile(snd.RTTSamples()[n/4:], 95)
+	// cwnd = 2·BDP bounds queue to ≈1 BDP = 30 ms above base.
+	if p95 > 0.085 {
+		t.Fatalf("95th RTT %.1f ms: BBR should not fill a 4-BDP buffer", p95*1000)
+	}
+}
+
+func TestBBRExitsStartup(t *testing.T) {
+	s := sim.New(3)
+	p := path(s, 50, 375000, 0.030)
+	cc := New()
+	snd := transport.NewSender(1, p, cc)
+	snd.Start()
+	s.Run(3)
+	if cc.Mode() == "startup" {
+		t.Fatalf("BBR stuck in startup after 3 s (mode %s)", cc.Mode())
+	}
+}
+
+func TestBBRProbeRTTVisits(t *testing.T) {
+	s := sim.New(4)
+	p := path(s, 50, 375000, 0.030)
+	cc := New()
+	snd := transport.NewSender(1, p, cc)
+	snd.Start()
+	visits := 0
+	var tick func()
+	tick = func() {
+		if cc.Mode() == "probe_rtt" {
+			visits++
+		}
+		if s.Now() < 35 {
+			s.After(0.01, tick)
+		}
+	}
+	s.After(0.01, tick)
+	s.Run(35)
+	if visits == 0 {
+		t.Fatal("BBR never entered ProbeRTT in 35 s")
+	}
+}
+
+func TestBBRToleratesRandomLoss(t *testing.T) {
+	s := sim.New(5)
+	p := path(s, 50, 375000, 0.030)
+	p.Link.LossProb = 0.05
+	snd := transport.NewSender(1, p, New())
+	snd.Start()
+	var mark int64
+	s.At(10, func() { mark = snd.AckedBytes() })
+	s.Run(60)
+	tput := float64(snd.AckedBytes()-mark) * 8 / 50 / 1e6
+	if tput < 35 {
+		t.Fatalf("BBR under 5%% loss: %.1f Mbps, want ≥35 (loss-agnostic)", tput)
+	}
+}
+
+func TestBBRSYieldsToBBR(t *testing.T) {
+	// §7.1 / Fig. 14: BBR-S yields against plain BBR.
+	s := sim.New(6)
+	p := path(s, 50, 375000, 0.030)
+	primary := transport.NewSender(1, p, New())
+	scav := transport.NewSender(2, p, NewScavenger())
+	primary.Start()
+	s.At(10, func() { scav.Start() })
+	var mp, ms int64
+	s.At(40, func() { mp, ms = primary.AckedBytes(), scav.AckedBytes() })
+	s.Run(120)
+	tp := float64(primary.AckedBytes()-mp) * 8 / 80 / 1e6
+	ts := float64(scav.AckedBytes()-ms) * 8 / 80 / 1e6
+	if tp < 2.5*ts {
+		t.Fatalf("BBR-S did not yield: BBR=%.1f BBR-S=%.1f", tp, ts)
+	}
+}
+
+func TestBBRSFairWithItself(t *testing.T) {
+	// Fig. 14: two BBR-S flows share the bottleneck roughly fairly.
+	s := sim.New(7)
+	p := path(s, 50, 375000, 0.030)
+	a := transport.NewSender(1, p, NewScavenger())
+	b := transport.NewSender(2, p, NewScavenger())
+	a.Start()
+	s.At(5, func() { b.Start() })
+	var ma, mb int64
+	s.At(40, func() { ma, mb = a.AckedBytes(), b.AckedBytes() })
+	s.Run(160)
+	ta := float64(a.AckedBytes()-ma) * 8 / 120 / 1e6
+	tb := float64(b.AckedBytes()-mb) * 8 / 120 / 1e6
+	if j := stats.JainIndex([]float64{ta, tb}); j < 0.8 {
+		t.Fatalf("BBR-S self-fairness %.3f (%.1f vs %.1f)", j, ta, tb)
+	}
+}
+
+func TestBBRNames(t *testing.T) {
+	if New().Name() != "bbr" || NewScavenger().Name() != "bbr-s" {
+		t.Fatal("names")
+	}
+}

@@ -1,0 +1,142 @@
+// Package copa implements COPA (Arun & Balakrishnan, NSDI '18) in its
+// default mode: a delay-based controller that steers the sending rate
+// toward 1/(δ·dq) packets per second, where dq is the queuing delay
+// estimated as the difference between a short-window "standing" RTT and
+// the propagation RTT, with velocity doubling for fast convergence. COPA
+// is one of the latency-aware primary protocols the paper shows LEDBAT
+// fails to yield to.
+package copa
+
+import (
+	"pccproteus/internal/netem"
+	"pccproteus/internal/stats"
+	"pccproteus/internal/transport"
+)
+
+const (
+	mss          = float64(netem.MTU)
+	defaultDelta = 0.5
+	minCwnd      = 4 * mss
+	initialCwnd  = 10 * mss
+)
+
+// Controller is one COPA connection.
+type Controller struct {
+	// Delta trades throughput for delay; 0.5 is COPA's default.
+	Delta float64
+
+	cwnd     float64
+	velocity float64
+	dir      int // +1 increasing, -1 decreasing
+
+	minRTT   stats.WindowedMin // propagation estimate, 10 s window
+	standing stats.WindowedMin // standing RTT, srtt/2 window
+	srtt     float64
+
+	lastVelocityUpdate float64
+	cwndAtLastUpdate   float64
+	lastLoss           float64
+}
+
+// New returns a COPA controller in default mode.
+func New() *Controller {
+	return &Controller{
+		Delta:    defaultDelta,
+		cwnd:     initialCwnd,
+		velocity: 1,
+		dir:      1,
+		minRTT:   stats.WindowedMin{Window: 10},
+		standing: stats.WindowedMin{Window: 0.05},
+		lastLoss: -1,
+	}
+}
+
+// Name implements transport.Controller.
+func (c *Controller) Name() string { return "copa" }
+
+// OnSend implements transport.Controller.
+func (c *Controller) OnSend(float64, *transport.SentPacket) {}
+
+// CWnd implements transport.Controller.
+func (c *Controller) CWnd() float64 { return c.cwnd }
+
+// PacingRate implements transport.Controller (default cwnd pacing).
+func (c *Controller) PacingRate() float64 { return 0 }
+
+// QueuingDelay returns the current standing-minus-propagation delay
+// estimate in seconds.
+func (c *Controller) QueuingDelay(now float64) float64 {
+	st, ok1 := c.standing.Get(now)
+	mn, ok2 := c.minRTT.Get(now)
+	if !ok1 || !ok2 {
+		return 0
+	}
+	d := st - mn
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// OnAck implements transport.Controller.
+func (c *Controller) OnAck(ack transport.Ack) {
+	if c.srtt == 0 {
+		c.srtt = ack.RTT
+		c.lastVelocityUpdate = ack.Now
+		c.cwndAtLastUpdate = c.cwnd
+	} else {
+		c.srtt = 0.875*c.srtt + 0.125*ack.RTT
+	}
+	c.standing.Window = c.srtt / 2
+	c.minRTT.Add(ack.Now, ack.RTT)
+	c.standing.Add(ack.Now, ack.RTT)
+
+	dq := c.QueuingDelay(ack.Now)
+	var wantUp bool
+	if dq <= 0 {
+		wantUp = true
+	} else {
+		targetRate := mss / (c.Delta * dq) // bytes per second
+		currentRate := c.cwnd / c.srtt
+		wantUp = currentRate < targetRate
+	}
+	step := c.velocity * mss * float64(ack.Bytes) / (c.Delta * c.cwnd)
+	if wantUp {
+		c.cwnd += step
+	} else {
+		c.cwnd -= step
+		if c.cwnd < minCwnd {
+			c.cwnd = minCwnd
+		}
+	}
+
+	// Velocity update once per RTT: double if the window kept moving in
+	// the same direction, reset otherwise.
+	if ack.Now-c.lastVelocityUpdate >= c.srtt {
+		newDir := 1
+		if c.cwnd < c.cwndAtLastUpdate {
+			newDir = -1
+		}
+		if newDir == c.dir {
+			c.velocity *= 2
+			if c.velocity > 32 {
+				c.velocity = 32
+			}
+		} else {
+			c.velocity = 1
+		}
+		c.dir = newDir
+		c.lastVelocityUpdate = ack.Now
+		c.cwndAtLastUpdate = c.cwnd
+	}
+}
+
+// OnLoss implements transport.Controller. COPA's default mode does not
+// react directly to packet loss (the delay signal already reflects the
+// congestion that caused it) — which is why the paper finds COPA highly
+// tolerant of random loss (§6.1.2). Only the velocity resets, so the
+// window does not keep accelerating through a loss episode.
+func (c *Controller) OnLoss(loss transport.Loss) {
+	c.lastLoss = loss.Now
+	c.velocity = 1
+}

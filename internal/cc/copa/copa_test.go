@@ -1,0 +1,111 @@
+package copa
+
+import (
+	"testing"
+
+	"pccproteus/internal/netem"
+	"pccproteus/internal/sim"
+	"pccproteus/internal/stats"
+	"pccproteus/internal/transport"
+)
+
+func path(s *sim.Sim, mbps float64, buf int, rtt float64) *netem.Path {
+	l := netem.NewLink(s, mbps, buf, rtt/2)
+	return &netem.Path{Link: l, AckDelay: rtt / 2}
+}
+
+func TestCopaSaturatesLink(t *testing.T) {
+	s := sim.New(1)
+	p := path(s, 50, 375000, 0.030)
+	snd := transport.NewSender(1, p, New())
+	snd.Start()
+	var mark int64
+	s.At(15, func() { mark = snd.AckedBytes() })
+	s.Run(100)
+	tput := float64(snd.AckedBytes()-mark) * 8 / 85 / 1e6
+	if tput < 42 {
+		t.Fatalf("COPA throughput %.1f want ≥42", tput)
+	}
+}
+
+func TestCopaKeepsDelayLow(t *testing.T) {
+	s := sim.New(2)
+	p := path(s, 50, 750000, 0.030)
+	snd := transport.NewSender(1, p, New())
+	snd.RecordRTT = true
+	snd.Start()
+	s.Run(60)
+	n := len(snd.RTTSamples())
+	p95 := stats.Percentile(snd.RTTSamples()[n/4:], 95)
+	// COPA targets ~1/(δ·dq): queuing should stay well under the 120 ms
+	// buffer — tens of ms at most.
+	if p95 > 0.075 {
+		t.Fatalf("95th RTT %.1f ms: COPA should be latency-aware", p95*1000)
+	}
+}
+
+func TestCopaFairnessTwoFlows(t *testing.T) {
+	s := sim.New(3)
+	p := path(s, 50, 375000, 0.030)
+	a := transport.NewSender(1, p, New())
+	b := transport.NewSender(2, p, New())
+	a.Start()
+	s.At(5, func() { b.Start() })
+	var ma, mb int64
+	s.At(40, func() { ma, mb = a.AckedBytes(), b.AckedBytes() })
+	s.Run(160)
+	ta := float64(a.AckedBytes()-ma) * 8 / 120 / 1e6
+	tb := float64(b.AckedBytes()-mb) * 8 / 120 / 1e6
+	if j := stats.JainIndex([]float64{ta, tb}); j < 0.90 {
+		t.Fatalf("COPA/COPA Jain %.3f (%.1f vs %.1f)", j, ta, tb)
+	}
+}
+
+func TestCopaToleratesModerateRandomLoss(t *testing.T) {
+	// COPA does not directly react to loss in default mode (§6.1.2).
+	s := sim.New(4)
+	p := path(s, 50, 375000, 0.030)
+	p.Link.LossProb = 0.02
+	snd := transport.NewSender(1, p, New())
+	snd.Start()
+	var mark int64
+	s.At(15, func() { mark = snd.AckedBytes() })
+	s.Run(100)
+	tput := float64(snd.AckedBytes()-mark) * 8 / 85 / 1e6
+	if tput < 25 {
+		t.Fatalf("COPA under 2%% loss: %.1f Mbps", tput)
+	}
+}
+
+func TestCopaDirectionLogic(t *testing.T) {
+	c := New()
+	// Prime RTT state: srtt 30 ms, no queue → increase.
+	c.OnAck(transport.Ack{Bytes: netem.MTU, RTT: 0.030, Now: 0.03})
+	w0 := c.CWnd()
+	c.OnAck(transport.Ack{Bytes: netem.MTU, RTT: 0.030, Now: 0.032})
+	if c.CWnd() <= w0 {
+		t.Fatal("no queuing delay → window must grow")
+	}
+	// Large standing queue → target rate tiny → decrease.
+	for i := 0; i < 50; i++ {
+		c.OnAck(transport.Ack{Bytes: netem.MTU, RTT: 0.230, Now: 0.04 + float64(i)*0.01})
+	}
+	c.cwnd = 100 * mss // well above the tiny target
+	w1 := c.CWnd()
+	c.OnAck(transport.Ack{Bytes: netem.MTU, RTT: 0.230, Now: 0.6})
+	if c.CWnd() >= w1 {
+		t.Fatal("large queuing delay → window must shrink")
+	}
+}
+
+func TestCopaVelocityDoubles(t *testing.T) {
+	c := New()
+	now := 0.0
+	for i := 0; i < 400; i++ {
+		now += 0.002
+		c.OnAck(transport.Ack{Bytes: netem.MTU, RTT: 0.030, Now: now})
+	}
+	if c.velocity < 4 {
+		t.Fatalf("velocity should double on sustained same-direction motion, got %v", c.velocity)
+	}
+}

@@ -1,0 +1,132 @@
+package cubic
+
+import (
+	"math"
+	"testing"
+
+	"pccproteus/internal/netem"
+	"pccproteus/internal/sim"
+	"pccproteus/internal/stats"
+	"pccproteus/internal/transport"
+)
+
+func path(s *sim.Sim, mbps float64, buf int, rtt float64) *netem.Path {
+	l := netem.NewLink(s, mbps, buf, rtt/2)
+	return &netem.Path{Link: l, AckDelay: rtt / 2}
+}
+
+func TestCubicSaturatesWithBDPBuffer(t *testing.T) {
+	s := sim.New(1)
+	p := path(s, 50, 375000, 0.030) // 2 BDP
+	snd := transport.NewSender(1, p, New())
+	snd.Start()
+	var mark int64
+	s.At(20, func() { mark = snd.AckedBytes() })
+	s.Run(100)
+	tput := float64(snd.AckedBytes()-mark) * 8 / 80 / 1e6
+	if tput < 45 {
+		t.Fatalf("CUBIC throughput %.1f want ≥45", tput)
+	}
+}
+
+func TestCubicFillsBufferAndBloatsRTT(t *testing.T) {
+	s := sim.New(2)
+	p := path(s, 50, 375000, 0.030)
+	snd := transport.NewSender(1, p, New())
+	snd.RecordRTT = true
+	snd.Start()
+	s.Run(60)
+	// CUBIC is loss-based: it must drive RTT towards base + full buffer.
+	p95 := stats.Percentile(snd.RTTSamples(), 95)
+	full := p.BaseRTT() + 375000/p.Link.Rate
+	if p95 < p.BaseRTT()+0.5*(full-p.BaseRTT()) {
+		t.Fatalf("95th RTT %.1f ms shows no bufferbloat (base %.1f, full %.1f)",
+			p95*1000, p.BaseRTT()*1000, full*1000)
+	}
+	if p.Link.Stats().Dropped == 0 {
+		t.Fatal("CUBIC should experience tail drops")
+	}
+}
+
+func TestCubicLossResponse(t *testing.T) {
+	c := New()
+	c.srtt = 0.03
+	c.cwnd = 100 * mss
+	c.OnLoss(transport.Loss{Now: 1.0})
+	if math.Abs(c.cwnd-70*mss) > 1e-9 {
+		t.Fatalf("cwnd after loss %.1f MSS want 70", c.cwnd/mss)
+	}
+	// A second loss within the same RTT is one episode.
+	c.OnLoss(transport.Loss{Now: 1.01})
+	if math.Abs(c.cwnd-70*mss) > 1e-9 {
+		t.Fatal("second loss in episode must not reduce again")
+	}
+	// After an RTT, it reduces again (fast convergence shrinks wMax).
+	c.OnLoss(transport.Loss{Now: 1.2})
+	if math.Abs(c.cwnd-49*mss) > 1e-9 {
+		t.Fatalf("cwnd after second episode %.1f MSS want 49", c.cwnd/mss)
+	}
+}
+
+func TestCubicSlowStartDoubles(t *testing.T) {
+	c := New()
+	start := c.CWnd()
+	// Ack a window's worth of bytes: cwnd should double.
+	acked := 0.0
+	for acked < start {
+		c.OnAck(transport.Ack{Bytes: netem.MTU, RTT: 0.03, Now: acked / 1e6})
+		acked += mss
+	}
+	if c.CWnd() < 2*start*0.99 {
+		t.Fatalf("slow start did not double: %v -> %v", start, c.CWnd())
+	}
+}
+
+func TestCubicFairnessTwoFlows(t *testing.T) {
+	s := sim.New(3)
+	p := path(s, 50, 375000, 0.030)
+	a := transport.NewSender(1, p, New())
+	b := transport.NewSender(2, p, New())
+	a.Start()
+	s.At(5, func() { b.Start() })
+	var ma, mb int64
+	s.At(40, func() { ma, mb = a.AckedBytes(), b.AckedBytes() })
+	s.Run(160)
+	ta := float64(a.AckedBytes()-ma) * 8 / 120 / 1e6
+	tb := float64(b.AckedBytes()-mb) * 8 / 120 / 1e6
+	j := stats.JainIndex([]float64{ta, tb})
+	if j < 0.90 {
+		t.Fatalf("CUBIC/CUBIC Jain %.3f (%.1f vs %.1f)", j, ta, tb)
+	}
+	if ta+tb < 42 {
+		t.Fatalf("joint utilization %.1f too low", ta+tb)
+	}
+}
+
+func TestCubicGrowthIsCubicShaped(t *testing.T) {
+	// After a loss the window should plateau near wMax and then
+	// accelerate — probe the W(t) curve directly.
+	c := New()
+	c.srtt = 0.03
+	c.cwnd = 100 * mss
+	c.OnLoss(transport.Loss{Now: 0})
+	w0 := c.cwnd
+	now := 0.0
+	var at25, at100 float64
+	for i := 0; i < 4000; i++ {
+		now += 0.001
+		c.OnAck(transport.Ack{Bytes: netem.MTU, RTT: 0.03, Now: now})
+		if at25 == 0 && now >= 1.0 {
+			at25 = c.cwnd
+		}
+		if at100 == 0 && now >= 3.5 {
+			at100 = c.cwnd
+		}
+	}
+	if at25 <= w0 {
+		t.Fatal("window must grow after loss epoch")
+	}
+	if at100 <= c.wMax {
+		t.Fatalf("window should eventually exceed wMax: %.0f <= %.0f", at100, c.wMax)
+	}
+}

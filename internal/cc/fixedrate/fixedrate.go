@@ -1,0 +1,39 @@
+// Package fixedrate provides a constant-rate, congestion-oblivious
+// controller. The paper uses a 20 Mbps fixed-rate UDP flow as the
+// measurement probe for the Figure 2 RTT-deviation vs RTT-gradient
+// analysis; it is also handy as a traffic generator and in tests.
+package fixedrate
+
+import (
+	"math"
+
+	"pccproteus/internal/transport"
+)
+
+// Controller sends at a fixed rate with no window limit.
+type Controller struct {
+	RateBps float64 // bytes per second
+}
+
+// New returns a fixed-rate controller with the rate given in Mbps.
+func New(rateMbps float64) *Controller {
+	return &Controller{RateBps: rateMbps * 1e6 / 8}
+}
+
+// Name implements transport.Controller.
+func (c *Controller) Name() string { return "fixedrate" }
+
+// OnSend implements transport.Controller.
+func (c *Controller) OnSend(float64, *transport.SentPacket) {}
+
+// OnAck implements transport.Controller.
+func (c *Controller) OnAck(transport.Ack) {}
+
+// OnLoss implements transport.Controller.
+func (c *Controller) OnLoss(transport.Loss) {}
+
+// PacingRate implements transport.Controller.
+func (c *Controller) PacingRate() float64 { return c.RateBps }
+
+// CWnd implements transport.Controller.
+func (c *Controller) CWnd() float64 { return math.Inf(1) }

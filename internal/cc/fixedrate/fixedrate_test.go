@@ -1,0 +1,51 @@
+package fixedrate
+
+import (
+	"math"
+	"testing"
+
+	"pccproteus/internal/netem"
+	"pccproteus/internal/sim"
+	"pccproteus/internal/transport"
+)
+
+func TestFixedRateHoldsItsRate(t *testing.T) {
+	s := sim.New(1)
+	l := netem.NewLink(s, 100, 1<<20, 0.030)
+	p := &netem.Path{Link: l, AckDelay: 0.030}
+	cc := New(20)
+	if cc.Name() != "fixedrate" {
+		t.Fatal("name")
+	}
+	if !math.IsInf(cc.CWnd(), 1) {
+		t.Fatal("fixed-rate flow must be window-unlimited")
+	}
+	snd := transport.NewSender(1, p, cc)
+	snd.Burst = 1
+	snd.Start()
+	s.Run(10)
+	tput := float64(snd.AckedBytes()) * 8 / 10 / 1e6
+	if math.Abs(tput-20) > 1 {
+		t.Fatalf("throughput %.2f want 20", tput)
+	}
+}
+
+func TestFixedRateIgnoresCongestion(t *testing.T) {
+	s := sim.New(2)
+	l := netem.NewLink(s, 10, 20*netem.MTU, 0.030) // half the demanded rate
+	p := &netem.Path{Link: l, AckDelay: 0.030}
+	cc := New(20)
+	snd := transport.NewSender(1, p, cc)
+	snd.Start()
+	s.Run(10)
+	if cc.PacingRate() != 20e6/8 {
+		t.Fatal("rate must not adapt")
+	}
+	tput := float64(snd.AckedBytes()) * 8 / 10 / 1e6
+	if tput > 10.5 {
+		t.Fatalf("delivered %.1f exceeds capacity", tput)
+	}
+	if l.Stats().Dropped == 0 {
+		t.Fatal("overdriven link must drop")
+	}
+}

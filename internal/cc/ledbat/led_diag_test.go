@@ -1,0 +1,31 @@
+package ledbat
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"pccproteus/internal/sim"
+	"pccproteus/internal/transport"
+)
+
+func TestDiagLatecomer(t *testing.T) {
+	if os.Getenv("PROTEUS_DIAG") == "" {
+		t.Skip("diag")
+	}
+	s := sim.New(3)
+	p := path(s, 50, 1800000, 0.030)
+	c1, c2 := New(0.100), New(0.100)
+	first := transport.NewSender(1, p, c1)
+	second := transport.NewSender(2, p, c2)
+	first.Start()
+	s.At(30, func() { second.Start() })
+	for ts := 5.0; ts <= 150; ts += 10 {
+		ts := ts
+		s.At(ts, func() {
+			fmt.Printf("t=%5.1f q=%7.1fKB cwnd1=%7.0f base1=%.4f qd1=%.4f cwnd2=%7.0f base2=%.4f qd2=%.4f\n",
+				ts, float64(p.Link.QueueBytes())/1000, c1.cwnd, c1.base, c1.QueuingDelay(), c2.cwnd, c2.base, c2.QueuingDelay())
+		})
+	}
+	s.Run(150)
+}

@@ -1,0 +1,135 @@
+// Package ledbat implements LEDBAT (RFC 6817), the IETF's Low Extra
+// Delay Background Transport — the existing scavenger the paper compares
+// against. LEDBAT steers the one-way queuing delay it induces toward a
+// fixed target (100 ms in the RFC and in µTorrent; 25 ms in the original
+// draft evaluated in Appendix B) with a proportional controller, and
+// halves its window on loss.
+//
+// The base one-way delay is the minimum observed over the connection's
+// lifetime. Because a latecomer measures its "base" against a queue
+// already inflated by incumbent LEDBAT flows, it believes the queue is
+// empty and pushes harder — the latecomer advantage of §6.1.3 emerges
+// from this implementation without any special casing.
+package ledbat
+
+import (
+	"math"
+
+	"pccproteus/internal/netem"
+	"pccproteus/internal/transport"
+)
+
+const (
+	mss         = float64(netem.MTU)
+	gain        = 1.0
+	initialCwnd = 2 * mss
+	minCwnd     = 2 * mss
+	// currentFilter is the number of recent OWD samples whose minimum
+	// estimates the current delay (RFC 6817 CURRENT_FILTER).
+	currentFilter = 4
+)
+
+// Controller is one LEDBAT connection.
+type Controller struct {
+	// TargetDelay is the extra queuing delay goal in seconds: 0.100 per
+	// RFC 6817 and the paper's main evaluation, 0.025 for the LEDBAT-25
+	// variant of Appendix B.
+	TargetDelay float64
+
+	cwnd     float64
+	base     float64 // lifetime minimum OWD
+	baseInit bool
+	recent   []float64 // last few OWD samples
+	lastLoss float64
+	srtt     float64
+}
+
+// New returns a LEDBAT controller with the given target extra delay in
+// seconds.
+func New(targetDelay float64) *Controller {
+	return &Controller{TargetDelay: targetDelay, cwnd: initialCwnd, lastLoss: -1}
+}
+
+// Name implements transport.Controller.
+func (c *Controller) Name() string {
+	if c.TargetDelay <= 0.05 {
+		return "ledbat-25"
+	}
+	return "ledbat"
+}
+
+// OnSend implements transport.Controller.
+func (c *Controller) OnSend(float64, *transport.SentPacket) {}
+
+// CWnd implements transport.Controller.
+func (c *Controller) CWnd() float64 { return c.cwnd }
+
+// PacingRate implements transport.Controller (default cwnd pacing).
+func (c *Controller) PacingRate() float64 { return 0 }
+
+// QueuingDelay reports the current estimated self-induced queuing delay.
+func (c *Controller) QueuingDelay() float64 {
+	if !c.baseInit || len(c.recent) == 0 {
+		return 0
+	}
+	return c.currentDelay() - c.base
+}
+
+func (c *Controller) currentDelay() float64 {
+	cur := math.Inf(1)
+	for _, v := range c.recent {
+		if v < cur {
+			cur = v
+		}
+	}
+	return cur
+}
+
+// OnAck implements transport.Controller: the RFC 6817 window update
+//
+//	off_target = (TARGET - queuing_delay) / TARGET
+//	cwnd += GAIN · off_target · bytes_newly_acked · MSS / cwnd
+//
+// with growth clamped to slow-start speed (at most one MSS per MSS
+// acked).
+func (c *Controller) OnAck(ack transport.Ack) {
+	if c.srtt == 0 {
+		c.srtt = ack.RTT
+	} else {
+		c.srtt = 0.875*c.srtt + 0.125*ack.RTT
+	}
+	if !c.baseInit || ack.OWD < c.base {
+		c.base = ack.OWD
+		c.baseInit = true
+	}
+	c.recent = append(c.recent, ack.OWD)
+	if len(c.recent) > currentFilter {
+		c.recent = c.recent[1:]
+	}
+	qd := c.currentDelay() - c.base
+	offTarget := (c.TargetDelay - qd) / c.TargetDelay
+	delta := gain * offTarget * float64(ack.Bytes) * mss / c.cwnd
+	if max := float64(ack.Bytes); delta > max {
+		delta = max // never outgrow slow start
+	}
+	c.cwnd += delta
+	if c.cwnd < minCwnd {
+		c.cwnd = minCwnd
+	}
+}
+
+// OnLoss implements transport.Controller: halve at most once per RTT.
+func (c *Controller) OnLoss(loss transport.Loss) {
+	rtt := c.srtt
+	if rtt == 0 {
+		rtt = 0.1
+	}
+	if c.lastLoss >= 0 && loss.Now-c.lastLoss < rtt {
+		return
+	}
+	c.lastLoss = loss.Now
+	c.cwnd /= 2
+	if c.cwnd < minCwnd {
+		c.cwnd = minCwnd
+	}
+}

@@ -1,0 +1,156 @@
+package ledbat
+
+import (
+	"testing"
+
+	"pccproteus/internal/netem"
+	"pccproteus/internal/sim"
+	"pccproteus/internal/stats"
+	"pccproteus/internal/transport"
+)
+
+func path(s *sim.Sim, mbps float64, buf int, rtt float64) *netem.Path {
+	l := netem.NewLink(s, mbps, buf, rtt/2)
+	return &netem.Path{Link: l, AckDelay: rtt / 2}
+}
+
+func TestLEDBATTargetsExtraDelay(t *testing.T) {
+	s := sim.New(1)
+	// Buffer big enough to hold 100 ms of extra delay (625 KB at 50 Mbps).
+	p := path(s, 50, 900000, 0.030)
+	snd := transport.NewSender(1, p, New(0.100))
+	snd.RecordRTT = true
+	snd.Start()
+	var mark int64
+	s.At(30, func() { mark = snd.AckedBytes() })
+	s.Run(100)
+	tput := float64(snd.AckedBytes()-mark) * 8 / 70 / 1e6
+	if tput < 45 {
+		t.Fatalf("LEDBAT throughput %.1f want ≥45", tput)
+	}
+	// Median RTT should sit near base + target (≈130 ms).
+	med := stats.Median(snd.RTTSamples()[len(snd.RTTSamples())/2:])
+	if med < 0.100 || med > 0.160 {
+		t.Fatalf("median RTT %.1f ms, want ≈130 (base 30 + target 100)", med*1000)
+	}
+}
+
+func TestLEDBAT25TargetsSmallerDelay(t *testing.T) {
+	s := sim.New(1)
+	p := path(s, 50, 900000, 0.030)
+	snd := transport.NewSender(1, p, New(0.025))
+	snd.RecordRTT = true
+	snd.Start()
+	s.Run(100)
+	n := len(snd.RTTSamples())
+	med := stats.Median(snd.RTTSamples()[n/2:])
+	if med < 0.040 || med > 0.075 {
+		t.Fatalf("LEDBAT-25 median RTT %.1f ms, want ≈55", med*1000)
+	}
+}
+
+func TestLEDBATKeepsBufferFullWhenShallow(t *testing.T) {
+	// With a buffer smaller than the target delay, LEDBAT can never
+	// reach its target and behaves like a loss-based protocol, keeping
+	// the buffer full (the paper's Fig. 3(b) observation).
+	s := sim.New(2)
+	p := path(s, 50, 150000, 0.030) // 24 ms of buffer < 100 ms target
+	snd := transport.NewSender(1, p, New(0.100))
+	snd.RecordRTT = true
+	snd.Start()
+	s.Run(60)
+	if p.Link.Stats().Dropped == 0 {
+		t.Fatal("LEDBAT below-target should fill the buffer to loss")
+	}
+	p95 := stats.Percentile(snd.RTTSamples(), 95)
+	full := p.BaseRTT() + 150000/p.Link.Rate
+	if p95 < p.BaseRTT()+0.6*(full-p.BaseRTT()) {
+		t.Fatalf("95th RTT %.1f ms: buffer not kept full (full=%.1f)", p95*1000, full*1000)
+	}
+}
+
+func TestLEDBATLatecomerAdvantage(t *testing.T) {
+	// The second flow measures its base delay against a queue the first
+	// flow has already inflated, so it believes there is no queuing and
+	// starves the incumbent (§6.1.3).
+	s := sim.New(3)
+	// The buffer must accommodate the sum of both flows' delay targets
+	// (the paper: fairness only improves once Σ targets exceeds the
+	// buffer), so use a deep 1.8 MB queue.
+	p := path(s, 50, 1800000, 0.030)
+	first := transport.NewSender(1, p, New(0.100))
+	second := transport.NewSender(2, p, New(0.100))
+	first.Start()
+	s.At(30, func() { second.Start() })
+	// LEDBAT's proportional controller drifts slowly (the paper's Fig. 18
+	// shows the takeover developing over hundreds of seconds), so measure
+	// the last 100 s of a 280 s run.
+	var m1, m2 int64
+	s.At(180, func() { m1, m2 = first.AckedBytes(), second.AckedBytes() })
+	s.Run(280)
+	t1 := float64(first.AckedBytes()-m1) * 8 / 100 / 1e6
+	t2 := float64(second.AckedBytes()-m2) * 8 / 100 / 1e6
+	if t2 < 1.5*t1 {
+		t.Fatalf("no latecomer advantage: first=%.1f second=%.1f", t1, t2)
+	}
+}
+
+func TestLEDBATFragileToRandomLoss(t *testing.T) {
+	// Even 0.1% random loss halves LEDBAT's window regularly (§6.1.2).
+	s := sim.New(4)
+	clean := path(s, 50, 900000, 0.030)
+	a := transport.NewSender(1, clean, New(0.100))
+	a.Start()
+	s.Run(60)
+	cleanTput := float64(a.AckedBytes()) * 8 / 60 / 1e6
+
+	s2 := sim.New(4)
+	lossy := path(s2, 50, 900000, 0.030)
+	lossy.Link.LossProb = 0.001
+	b := transport.NewSender(1, lossy, New(0.100))
+	b.Start()
+	s2.Run(60)
+	lossTput := float64(b.AckedBytes()) * 8 / 60 / 1e6
+	if lossTput > 0.7*cleanTput {
+		t.Fatalf("LEDBAT should degrade under random loss: clean=%.1f lossy=%.1f", cleanTput, lossTput)
+	}
+}
+
+func TestLEDBATWindowUpdateDirection(t *testing.T) {
+	c := New(0.100)
+	c.base = 0.030
+	c.baseInit = true
+	w0 := c.cwnd
+	// Below target: grow.
+	c.OnAck(transport.Ack{Bytes: netem.MTU, OWD: 0.050, RTT: 0.08, Now: 1})
+	if c.cwnd <= w0 {
+		t.Fatal("below-target ack must grow window")
+	}
+	// Above target: shrink — the CURRENT_FILTER takes the minimum of the
+	// last few samples, so the whole filter must fill with high delays.
+	c.cwnd = 100 * mss
+	w1 := c.cwnd
+	for i := 0; i < 4*currentFilter; i++ {
+		c.OnAck(transport.Ack{Bytes: netem.MTU, OWD: 0.200, RTT: 0.23, Now: 2 + float64(i)})
+	}
+	if c.cwnd >= w1 {
+		t.Fatal("above-target acks must shrink window")
+	}
+	if c.Name() != "ledbat" || New(0.025).Name() != "ledbat-25" {
+		t.Fatal("names")
+	}
+}
+
+func TestLEDBATLossHalves(t *testing.T) {
+	c := New(0.100)
+	c.srtt = 0.03
+	c.cwnd = 100 * mss
+	c.OnLoss(transport.Loss{Now: 1})
+	if c.cwnd != 50*mss {
+		t.Fatalf("cwnd %.0f want halved", c.cwnd/mss)
+	}
+	c.OnLoss(transport.Loss{Now: 1.005}) // same episode
+	if c.cwnd != 50*mss {
+		t.Fatal("same-episode loss must not halve twice")
+	}
+}

@@ -1,0 +1,17 @@
+// Package vivace exposes the PCC Vivace baseline: the same
+// utility-framework machinery as Proteus (internal/core) configured with
+// Vivace's original design — the gradient-rewarding utility function, a
+// two-pair consistency rule instead of the majority-of-three, and only a
+// fixed gradient-tolerance threshold in place of Proteus's adaptive
+// noise mechanisms. The contrast between this package and core's Proteus
+// presets is exactly the delta the paper's §5 introduces.
+package vivace
+
+import (
+	"math/rand"
+
+	"pccproteus/internal/core"
+)
+
+// New returns a PCC Vivace controller.
+func New(rng *rand.Rand) *core.Controller { return core.NewVivace(rng) }

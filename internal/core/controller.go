@@ -1,0 +1,577 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"pccproteus/internal/stats"
+	"pccproteus/internal/transport"
+)
+
+// Config parameterizes the framework. Zero values are filled in by
+// (*Config).withDefaults; construct presets with VivaceConfig or
+// ProteusConfig.
+type Config struct {
+	Rng *rand.Rand // required: the simulation's deterministic source
+
+	// Monitor intervals.
+	MIMin        float64 // minimum MI duration, seconds
+	MIRTTMult    float64 // MI duration as a multiple of smoothed RTT
+	MinPktsPerMI int     // an MI does not seal until it carries this many packets
+
+	// Rate control.
+	InitialRateMbps float64
+	MinRateMbps     float64
+	MaxRateMbps     float64
+	Epsilon         float64 // probing rate perturbation (±ε)
+	ProbePairs      int     // 2 = Vivace consistency, 3 = Proteus majority rule
+	Theta0          float64 // gradient→rate conversion factor, Mbps per utility-slope unit
+	OmegaInit       float64 // initial rate-change boundary, fraction of rate
+	OmegaStep       float64 // boundary growth per consecutive boundary hit
+	AmpMax          int     // cap on the confidence amplifier
+
+	// Noise tolerance (§5).
+	UseAckFilter           bool    // per-ACK RTT sample filtering
+	AckIntervalRatio       float64 // consecutive ACK-interval ratio threshold (50)
+	UseRegressionTolerance bool    // per-MI regression-error tolerance
+	FixedGradTolerance     float64 // Vivace-style flat tolerance (used when regression tolerance is off)
+	UseTrending            bool    // MI-history trending tolerance
+	TrendK                 int     // MIs of history (6)
+	G1, G2                 float64 // anomaly thresholds (2, 4)
+	NoiseWarmupMIs         int     // MIs of full-gain noise-model learning
+}
+
+func (c Config) withDefaults() Config {
+	if c.MIMin == 0 {
+		c.MIMin = 0.010
+	}
+	if c.MIRTTMult == 0 {
+		c.MIRTTMult = 1.5
+	}
+	if c.MinPktsPerMI == 0 {
+		c.MinPktsPerMI = 8
+	}
+	if c.InitialRateMbps == 0 {
+		c.InitialRateMbps = 1.0
+	}
+	if c.MinRateMbps == 0 {
+		c.MinRateMbps = 0.1
+	}
+	if c.MaxRateMbps == 0 {
+		c.MaxRateMbps = 10000
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.05
+	}
+	if c.ProbePairs == 0 {
+		c.ProbePairs = 3
+	}
+	if c.Theta0 == 0 {
+		c.Theta0 = 0.5
+	}
+	if c.OmegaInit == 0 {
+		c.OmegaInit = 0.05
+	}
+	if c.OmegaStep == 0 {
+		c.OmegaStep = 0.10
+	}
+	if c.AmpMax == 0 {
+		c.AmpMax = 50
+	}
+	if c.AckIntervalRatio == 0 {
+		c.AckIntervalRatio = 50
+	}
+	if c.TrendK == 0 {
+		c.TrendK = 6
+	}
+	if c.G1 == 0 {
+		c.G1 = 2
+	}
+	if c.G2 == 0 {
+		c.G2 = 4
+	}
+	if c.NoiseWarmupMIs == 0 {
+		c.NoiseWarmupMIs = 24
+	}
+	return c
+}
+
+// ProteusConfig returns the full Proteus configuration: majority-of-three
+// probing and all four noise-tolerance mechanisms enabled.
+func ProteusConfig(rng *rand.Rand) Config {
+	return Config{
+		Rng:                    rng,
+		ProbePairs:             3,
+		UseAckFilter:           true,
+		UseRegressionTolerance: true,
+		UseTrending:            true,
+	}.withDefaults()
+}
+
+// VivaceConfig returns the PCC Vivace baseline configuration: two-pair
+// consistency probing and only a fixed gradient-tolerance threshold.
+func VivaceConfig(rng *rand.Rand) Config {
+	return Config{
+		Rng:                rng,
+		ProbePairs:         2,
+		FixedGradTolerance: 0.005,
+	}.withDefaults()
+}
+
+type ctrlState int
+
+const (
+	stateStarting ctrlState = iota
+	stateProbing
+)
+
+func (s ctrlState) String() string {
+	if s == stateStarting {
+		return "starting"
+	}
+	return "probing"
+}
+
+// Stats carries controller-internal counters for diagnostics and the
+// ablation experiments.
+type Stats struct {
+	MIsCompleted   int64
+	MIsDiscarded   int64
+	RTTFilteredOut int64
+	DecisionsUp    int64
+	DecisionsDown  int64
+	ProbesRepeated int64
+	UtilitySwaps   int64
+}
+
+// Controller is the Proteus/Vivace congestion controller: a utility
+// module plus the gradient-based rate-control module, implementing
+// transport.Controller. One instance drives one flow.
+type Controller struct {
+	cfg  Config
+	util UtilityFunc
+	mon  *monitor
+
+	label string
+	state ctrlState
+	rate  float64 // base sending rate, Mbps
+
+	// Starting state.
+	startPrevUtil float64
+	startPrevSet  bool
+	startPrevRate float64
+	startEvalRate float64 // the doubled rate whose utility we await
+
+	// Probing state bookkeeping. probeQueue holds rates for MIs not yet
+	// begun; probeSlot maps a live MI id to its slot (pair*2 + position);
+	// probeUtil/probeRate record finalized results.
+	probeQueue []float64
+	probeSlot  map[int64]int
+	probeUtil  []float64
+	probeRate  []float64
+	probeGot   int
+
+	// Gradient-step state: confidence amplifier and dynamic boundary,
+	// carried across consecutive same-direction decisions.
+	dir   float64
+	amp   int
+	omega float64
+
+	nextUtil UtilityFunc // swap applied at the next MI boundary
+	paused   bool
+
+	// Trace, when set, receives every finalized MI result plus the
+	// controller's post-decision state — the hook the timeline figures
+	// and the diagnostics use.
+	Trace func(ev TraceEvent)
+
+	stats Stats
+}
+
+// TraceEvent reports one finalized monitor interval.
+type TraceEvent struct {
+	MIID     int64
+	Target   float64 // the rate the MI was asked to run at, Mbps
+	Measured float64 // the rate it actually achieved, Mbps
+	Utility  float64
+	Metrics  Metrics
+	BaseRate float64 // controller base rate after processing this result
+	State    string
+}
+
+// New creates a controller with the given configuration and utility
+// function. Use the preset constructors below for the paper's variants.
+func New(label string, cfg Config, util UtilityFunc) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg:           cfg,
+		util:          util,
+		label:         label,
+		state:         stateStarting,
+		rate:          cfg.InitialRateMbps,
+		startEvalRate: cfg.InitialRateMbps,
+		omega:         cfg.OmegaInit,
+	}
+	c.mon = newMonitor(&c.cfg)
+	return c
+}
+
+// NewProteusP returns Proteus in primary mode.
+func NewProteusP(rng *rand.Rand) *Controller {
+	return New("proteus-p", ProteusConfig(rng), NewPrimary())
+}
+
+// NewProteusS returns Proteus in scavenger mode.
+func NewProteusS(rng *rand.Rand) *Controller {
+	return New("proteus-s", ProteusConfig(rng), NewScavenger())
+}
+
+// NewProteusH returns Proteus in hybrid mode together with the Hybrid
+// utility so callers can adjust the switching threshold.
+func NewProteusH(rng *rand.Rand) (*Controller, *Hybrid) {
+	h := NewHybrid()
+	return New("proteus-h", ProteusConfig(rng), h), h
+}
+
+// NewVivace returns the PCC Vivace baseline.
+func NewVivace(rng *rand.Rand) *Controller {
+	return New("vivace", VivaceConfig(rng), NewVivaceUtility())
+}
+
+// Name implements transport.Controller.
+func (c *Controller) Name() string { return c.label }
+
+// RateMbps returns the controller's current base sending rate.
+func (c *Controller) RateMbps() float64 { return c.rate }
+
+// State returns the rate-control state name (starting/probing/moving).
+func (c *Controller) State() string { return c.state.String() }
+
+// Utility returns the active utility function.
+func (c *Controller) Utility() UtilityFunc { return c.util }
+
+// Stats returns a snapshot of internal counters.
+func (c *Controller) Stats() Stats {
+	s := c.stats
+	s.RTTFilteredOut = c.mon.filteredOut
+	return s
+}
+
+// SetUtility swaps the utility function at the next MI boundary — the
+// flexibility API of §3: "a simple API call", usable mid-flow.
+func (c *Controller) SetUtility(u UtilityFunc) {
+	c.nextUtil = u
+	c.stats.UtilitySwaps++
+}
+
+// OnAppPause implements transport.PauseAware: open MIs spanning an
+// application stall are discarded, their utility being meaningless.
+func (c *Controller) OnAppPause(float64) {
+	c.paused = true
+	c.stats.MIsDiscarded += c.mon.discardOpen()
+	c.abortDecisionState()
+}
+
+// OnAppResume implements transport.PauseAware.
+func (c *Controller) OnAppResume(float64) {
+	c.paused = false
+	c.mon.current = nil // force a fresh MI on the next send
+}
+
+// abortDecisionState returns to probing from any half-made decision.
+func (c *Controller) abortDecisionState() {
+	if c.state != stateStarting {
+		c.enterProbing()
+	}
+}
+
+// OnSend implements transport.Controller: rolls monitor intervals and
+// tags each packet with its MI.
+func (c *Controller) OnSend(now float64, pkt *transport.SentPacket) {
+	cur := c.mon.current
+	if cur == nil || cur.sealed ||
+		(now >= cur.end && cur.sentPkts >= c.cfg.MinPktsPerMI) {
+		c.rollMI(now)
+	}
+	c.mon.onSend(now, pkt.Size)
+	pkt.MI = c.mon.current.id
+}
+
+func (c *Controller) rollMI(now float64) {
+	if res, ok := c.mon.seal(now, c.util); ok {
+		c.handleResult(res)
+	}
+	if c.nextUtil != nil {
+		c.util = c.nextUtil
+		c.nextUtil = nil
+	}
+	target := c.rate
+	if c.state == stateProbing && len(c.probeQueue) > 0 {
+		target = c.probeQueue[0]
+		c.probeQueue = c.probeQueue[1:]
+		m := c.mon.beginMI(now, target, c.srtt())
+		c.probeSlot[m.id] = c.probeGotAssigned()
+		return
+	}
+	c.mon.beginMI(now, target, c.srtt())
+}
+
+// probeGotAssigned returns the next unassigned probe slot index.
+func (c *Controller) probeGotAssigned() int {
+	n := 2*c.cfg.ProbePairs - (len(c.probeQueue) + 1)
+	return n
+}
+
+func (c *Controller) srtt() float64 {
+	if c.mon.ewmaRTT.Initialized() {
+		return c.mon.ewmaRTT.Avg()
+	}
+	return 0
+}
+
+// OnAck implements transport.Controller.
+func (c *Controller) OnAck(ack transport.Ack) {
+	res, done := c.mon.onAck(ack.Now, ack.MI, ack.SentAt, ack.RTT, c.util)
+	if done {
+		c.handleResult(res)
+	}
+}
+
+// OnLoss implements transport.Controller.
+func (c *Controller) OnLoss(loss transport.Loss) {
+	res, done := c.mon.onLoss(loss.MI, c.util)
+	if done {
+		c.handleResult(res)
+	}
+}
+
+// PacingRate implements transport.Controller: the target rate of the MI
+// in progress (probe MIs perturb the base rate by ±ε).
+func (c *Controller) PacingRate() float64 {
+	r := c.rate
+	if cur := c.mon.current; cur != nil && !cur.sealed {
+		r = cur.targetMbps
+	}
+	return r * 1e6 / 8
+}
+
+// CWnd implements transport.Controller. Proteus is purely rate-based;
+// the window is only a safety cap of 4·rate·max(srtt, 100ms) to bound
+// in-flight state on pathological paths.
+func (c *Controller) CWnd() float64 {
+	srtt := c.srtt()
+	if srtt < 0.1 {
+		srtt = 0.1
+	}
+	return 4 * (c.rate * 1e6 / 8) * srtt
+}
+
+// --- decision logic ---
+
+func (c *Controller) handleResult(res miResult) {
+	c.stats.MIsCompleted++
+	switch c.state {
+	case stateStarting:
+		c.handleStarting(res)
+	case stateProbing:
+		c.handleProbing(res)
+	}
+	if c.Trace != nil {
+		c.Trace(TraceEvent{
+			MIID: res.id, Target: res.target, Measured: res.rate,
+			Utility: res.utility, Metrics: res.metrics,
+			BaseRate: c.rate, State: c.state.String(),
+		})
+	}
+}
+
+// handleStarting doubles the rate each round while utility keeps growing
+// (slow-start analog), then falls back to the last good rate and starts
+// probing. Because MI results lag the rate changes by roughly one RTT,
+// several MIs run at each rate; only the first result at the rate under
+// evaluation counts.
+func (c *Controller) handleStarting(res miResult) {
+	if res.target != c.startEvalRate {
+		return // stale result from before the last doubling
+	}
+	if !c.startPrevSet || res.utility > c.startPrevUtil {
+		c.startPrevSet = true
+		c.startPrevUtil = res.utility
+		c.startPrevRate = c.rate
+		c.rate = c.clampRate(c.rate * 2)
+		if c.rate > c.startPrevRate {
+			c.startEvalRate = c.rate
+			return
+		}
+		// Hit the rate cap: nothing left to double into.
+	}
+	c.rate = c.startPrevRate
+	c.enterProbing()
+}
+
+func (c *Controller) enterProbing() {
+	c.state = stateProbing
+	c.clearProbes()
+	c.setupProbes()
+}
+
+func (c *Controller) clearProbes() {
+	c.probeQueue = nil
+	c.probeSlot = make(map[int64]int)
+	c.probeUtil = make([]float64, 2*c.cfg.ProbePairs)
+	c.probeRate = make([]float64, 2*c.cfg.ProbePairs)
+	c.probeGot = 0
+}
+
+// setupProbes schedules ProbePairs pairs of MIs at rate·(1±ε), each pair
+// in random order (§5 majority rule: Proteus uses three pairs and takes
+// the majority direction; Vivace uses two and requires consistency).
+func (c *Controller) setupProbes() {
+	eps := c.cfg.Epsilon
+	hi := c.clampRate(c.rate * (1 + eps))
+	lo := c.clampRate(c.rate * (1 - eps))
+	for p := 0; p < c.cfg.ProbePairs; p++ {
+		if c.cfg.Rng.Intn(2) == 0 {
+			c.probeQueue = append(c.probeQueue, hi, lo)
+		} else {
+			c.probeQueue = append(c.probeQueue, lo, hi)
+		}
+	}
+}
+
+func (c *Controller) handleProbing(res miResult) {
+	slot, ok := c.probeSlot[res.id]
+	if !ok {
+		return // a filler MI at the base rate while results trickle in
+	}
+	delete(c.probeSlot, res.id)
+	idx := slot
+	if idx < 0 || idx >= len(c.probeUtil) {
+		return
+	}
+	c.probeUtil[idx] = res.utility
+	c.probeRate[idx] = res.target
+	c.probeGot++
+	if c.probeGot < 2*c.cfg.ProbePairs {
+		return
+	}
+	c.decideFromProbes()
+}
+
+// decideFromProbes tallies the per-pair votes and either moves the rate
+// in the majority direction or re-probes on a tie.
+func (c *Controller) decideFromProbes() {
+	votes := 0
+	var grads []float64
+	pairs := c.cfg.ProbePairs
+	for p := 0; p < pairs; p++ {
+		u1, u2 := c.probeUtil[2*p], c.probeUtil[2*p+1]
+		r1, r2 := c.probeRate[2*p], c.probeRate[2*p+1]
+		if r1 == r2 {
+			continue
+		}
+		g := (u1 - u2) / (r1 - r2)
+		grads = append(grads, g)
+		if g > 0 {
+			votes++
+		} else if g < 0 {
+			votes--
+		}
+	}
+	if len(grads) == 0 {
+		c.clearProbes()
+		c.setupProbes()
+		return
+	}
+	var grad float64
+	var conclusive bool
+	var dir float64
+	if pairs >= 3 {
+		// Proteus majority rule (§5): the median pair gradient has the
+		// majority's sign by construction and discards the magnitude of
+		// an outlier pair — one probe MI that randomly caught a transient
+		// congestion spike (or a loss burst) must not dictate the step
+		// size of the whole decision.
+		grad = stats.Median(grads)
+		conclusive = grad != 0
+		if grad > 0 {
+			dir = 1
+		} else {
+			dir = -1
+		}
+	} else {
+		// Vivace consistency rule: both pairs must agree on direction.
+		sum := 0.0
+		for _, g := range grads {
+			sum += g
+		}
+		grad = sum / float64(len(grads))
+		conclusive = votes >= pairs || -votes >= pairs
+		if votes > 0 {
+			dir = 1
+		} else {
+			dir = -1
+		}
+	}
+	if conclusive {
+		c.applyDecision(dir, grad)
+		return
+	}
+	// Inconclusive: keep the rate and test the same pair of rates again
+	// — the slow ramp-up §5's majority rule addresses.
+	c.stats.ProbesRepeated++
+	c.dir = 0
+	c.amp = 1
+	c.omega = c.cfg.OmegaInit
+	c.clearProbes()
+	c.setupProbes()
+}
+
+// applyDecision performs one gradient-ascent rate change after a
+// conclusive probing round: Δ = θ0·m·|grad|, bounded by the dynamic
+// boundary ω·rate. The confidence amplifier m grows across consecutive
+// same-direction decisions and resets on a direction flip; the boundary
+// ω grows only while consecutive steps keep hitting it (Vivace's
+// confidence-amplified rate controller). The controller then immediately
+// probes again around the new rate.
+func (c *Controller) applyDecision(dir, grad float64) {
+	if dir == c.dir {
+		if c.amp < c.cfg.AmpMax {
+			c.amp++
+		}
+	} else {
+		c.amp = 1
+		c.omega = c.cfg.OmegaInit
+	}
+	c.dir = dir
+	if dir > 0 {
+		c.stats.DecisionsUp++
+	} else {
+		c.stats.DecisionsDown++
+	}
+	raw := c.cfg.Theta0 * float64(c.amp) * math.Abs(grad)
+	bound := c.omega * c.rate
+	step := raw
+	if step >= bound {
+		step = bound
+		c.omega += c.cfg.OmegaStep
+	} else {
+		c.omega = c.cfg.OmegaInit
+	}
+	if min := c.cfg.MinRateMbps * c.cfg.Epsilon; step < min {
+		step = min
+	}
+	c.rate = c.clampRate(c.rate + dir*step)
+	c.clearProbes()
+	c.setupProbes()
+}
+
+func (c *Controller) clampRate(r float64) float64 {
+	if r < c.cfg.MinRateMbps {
+		return c.cfg.MinRateMbps
+	}
+	if r > c.cfg.MaxRateMbps {
+		return c.cfg.MaxRateMbps
+	}
+	return r
+}

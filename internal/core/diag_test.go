@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"pccproteus/internal/netem"
+	"pccproteus/internal/sim"
+	"pccproteus/internal/transport"
+)
+
+// TestDiagYield dumps per-MI traces for the P-vs-S scenario. Run with
+// PROTEUS_DIAG=1 to see the output; it is a development aid, not an
+// assertion.
+func TestDiagYield(t *testing.T) {
+	if os.Getenv("PROTEUS_DIAG") == "" {
+		t.Skip("set PROTEUS_DIAG=1 for diagnostics")
+	}
+	s := sim.New(2)
+	path := newTestLink(s, 50, 375000, 0.030)
+	ccP := NewProteusP(s.Rand())
+	ccS := NewProteusS(s.Rand())
+	p := transport.NewSender(1, path, ccP)
+	scv := transport.NewSender(2, path, ccS)
+	ccS.Trace = func(ev TraceEvent) {
+		if s.Now() > 100 && s.Now() < 102 {
+			fmt.Printf("S t=%6.2f mi=%4d tgt=%6.2f meas=%6.2f u=%8.2f grad=%+.5f dev=%.5f loss=%.3f base=%6.2f %s\n",
+				s.Now(), ev.MIID, ev.Target, ev.Measured, ev.Utility,
+				ev.Metrics.RTTGradient, ev.Metrics.RTTDeviation, ev.Metrics.LossRate, ev.BaseRate, ev.State)
+		}
+	}
+	ccP.Trace = func(ev TraceEvent) {
+		if s.Now() > 100 && s.Now() < 102 {
+			fmt.Printf("P t=%6.2f mi=%4d tgt=%6.2f meas=%6.2f u=%8.2f grad=%+.5f dev=%.5f loss=%.3f base=%6.2f %s\n",
+				s.Now(), ev.MIID, ev.Target, ev.Measured, ev.Utility,
+				ev.Metrics.RTTGradient, ev.Metrics.RTTDeviation, ev.Metrics.LossRate, ev.BaseRate, ev.State)
+		}
+	}
+	p.Start()
+	scv.Start()
+	lastP, lastS := int64(0), int64(0)
+	for ts := 5.0; ts <= 120; ts += 5 {
+		ts := ts
+		s.At(ts, func() {
+			dp := float64(p.AckedBytes()-lastP) * 8 / 5 / 1e6
+			ds := float64(scv.AckedBytes()-lastS) * 8 / 5 / 1e6
+			lastP, lastS = p.AckedBytes(), scv.AckedBytes()
+			fmt.Printf("== t=%5.1f  P=%6.2f Mbps  S=%6.2f Mbps  (P stats %+v)\n", ts, dp, ds, ccSstats(ccS))
+		})
+	}
+	s.Run(120)
+}
+
+func ccSstats(c *Controller) Stats { return c.Stats() }
+
+// TestDiagLoss dumps traces for the 2% random-loss scenario.
+func TestDiagLoss(t *testing.T) {
+	if os.Getenv("PROTEUS_DIAG") == "" {
+		t.Skip("set PROTEUS_DIAG=1 for diagnostics")
+	}
+	s := sim.New(8)
+	path := newTestLink(s, 50, 375000, 0.030)
+	path.Link.LossProb = 0.02
+	cc := NewProteusP(s.Rand())
+	snd := transport.NewSender(1, path, cc)
+	cc.Trace = func(ev TraceEvent) {
+		if s.Now() > 30 && s.Now() < 36 {
+			fmt.Printf("t=%6.2f mi=%4d tgt=%6.2f u=%8.2f grad=%+.5f loss=%.3f base=%6.2f\n",
+				s.Now(), ev.MIID, ev.Target, ev.Utility,
+				ev.Metrics.RTTGradient, ev.Metrics.LossRate, ev.BaseRate)
+		}
+	}
+	snd.Start()
+	last := int64(0)
+	for ts := 5.0; ts <= 100; ts += 5 {
+		ts := ts
+		s.At(ts, func() {
+			d := float64(snd.AckedBytes()-last) * 8 / 5 / 1e6
+			last = snd.AckedBytes()
+			fmt.Printf("== t=%5.1f  tput=%6.2f Mbps  rate=%6.2f  %+v\n", ts, d, cc.RateMbps(), cc.Stats())
+		})
+	}
+	s.Run(100)
+}
+
+// TestDiagNoisy traces Proteus-P on a jittery link.
+func TestDiagNoisy(t *testing.T) {
+	if os.Getenv("PROTEUS_DIAG") == "" {
+		t.Skip("diag")
+	}
+	s := sim.New(9)
+	path := newTestLink(s, 50, 375000, 0.030)
+	path.Link.Jitter = noisyJitter()
+	cc := NewProteusP(s.Rand())
+	snd := transport.NewSender(1, path, cc)
+	n := 0
+	cc.Trace = func(ev TraceEvent) {
+		n++
+		if n%20 == 0 && s.Now() < 30 {
+			fmt.Printf("t=%6.2f mi=%4d tgt=%6.2f u=%9.2f grad=%+.5f dev=%.5f loss=%.3f base=%6.2f samples-avgRTT=%.4f\n",
+				s.Now(), ev.MIID, ev.Target, ev.Utility,
+				ev.Metrics.RTTGradient, ev.Metrics.RTTDeviation, ev.Metrics.LossRate, ev.BaseRate, ev.Metrics.AvgRTT)
+		}
+	}
+	snd.Start()
+	last := int64(0)
+	for ts := 5.0; ts <= 60; ts += 5 {
+		ts := ts
+		s.At(ts, func() {
+			d := float64(snd.AckedBytes()-last) * 8 / 5 / 1e6
+			last = snd.AckedBytes()
+			fmt.Printf("== t=%5.1f tput=%6.2f rate=%6.2f %+v\n", ts, d, cc.RateMbps(), cc.Stats())
+		})
+	}
+	s.Run(60)
+}
+
+func noisyJitter() netem.SpikeNoise {
+	return netem.SpikeNoise{
+		Base:      netem.LognormalNoise{Median: 0.001, Sigma: 0.8},
+		SpikeProb: 0.001, SpikeMin: 0.01, SpikeMax: 0.03,
+	}
+}

@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+
+	"pccproteus/internal/core"
+)
+
+func ExampleScavenger_Utility() {
+	s := core.NewScavenger()
+	calm := core.Metrics{RateMbps: 20}
+	contested := core.Metrics{RateMbps: 20, RTTDeviation: 0.002}
+	fmt.Printf("calm=%.1f contested=%.1f\n", s.Utility(calm), s.Utility(contested))
+	// Output: calm=14.8 contested=-185.2
+}
+
+func ExampleHybrid_SetThreshold() {
+	h := core.NewHybrid()
+	h.SetThreshold(15) // primary below 15 Mbps, scavenger above
+	below := core.Metrics{RateMbps: 10, RTTDeviation: 0.002}
+	above := core.Metrics{RateMbps: 20, RTTDeviation: 0.002}
+	fmt.Printf("below-penalized=%v above-penalized=%v\n",
+		h.Utility(below) < h.P.Utility(below),
+		h.Utility(above) < h.P.Utility(above))
+	// Output: below-penalized=false above-penalized=true
+}
+
+func ExampleCustom() {
+	// A custom utility that only cares about loss (an Allegro-like app
+	// policy), showing the open utility library of §3.
+	u := &core.Custom{
+		Label: "loss-only",
+		Fn: func(m core.Metrics) float64 {
+			return math.Pow(m.RateMbps, 0.9) - 20*m.RateMbps*m.LossRate
+		},
+	}
+	fmt.Printf("%s %.1f\n", u.Name(), u.Utility(core.Metrics{RateMbps: 10, LossRate: 0.01}))
+	// Output: loss-only 5.9
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"pccproteus/internal/sim"
+	"pccproteus/internal/transport"
+)
+
+// TestHybridStaticThresholdPair checks the §4.4 ideal-rate-pair claim in
+// simulation: two Proteus-H senders with thresholds r1 < r2 on a
+// bottleneck whose capacity falls in [2·r1, r1+r2) should converge near
+// (r1, C−r1) — the low-threshold sender caps itself once it exceeds its
+// threshold (scavenger utility above it), while the other keeps primary
+// utility up to r2.
+func TestHybridStaticThresholdPair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	s := sim.New(3)
+	path := newTestLink(s, 44, 330000, 0.030) // C=44 ∈ [2·15=30, 15+25=40)... use thresholds below
+	// Thresholds: r1=15, r2=25. C=44 ≥ r1+r2=40 and < 2·r2=50 →
+	// prediction (C−r2, r2) = (19, 25).
+	cc1, h1 := NewProteusH(s.Rand())
+	cc2, h2 := NewProteusH(s.Rand())
+	h1.SetThreshold(15)
+	h2.SetThreshold(25)
+	a := transport.NewSender(1, path, cc1)
+	b := transport.NewSender(2, path, cc2)
+	a.Start()
+	s.At(10, func() { b.Start() })
+	var ma, mb int64
+	s.At(80, func() { ma, mb = a.AckedBytes(), b.AckedBytes() })
+	s.Run(200)
+	ta := float64(a.AckedBytes()-ma) * 8 / 120 / 1e6
+	tb := float64(b.AckedBytes()-mb) * 8 / 120 / 1e6
+	// Qualitative contract: the low-threshold sender ends near (not
+	// meaningfully above) its threshold; the high-threshold sender gets
+	// clearly more; together they use most of the link.
+	if ta > 15*1.35 {
+		t.Errorf("low-threshold sender at %.1f Mbps, should cap near 15", ta)
+	}
+	if tb < ta {
+		t.Errorf("high-threshold sender (%.1f) should exceed low-threshold (%.1f)", tb, ta)
+	}
+	if ta+tb < 0.65*44 {
+		t.Errorf("joint utilization %.1f too low", ta+tb)
+	}
+}
+
+// TestHybridInfiniteThresholdActsPrimary: with the emergency rule active
+// (threshold ∞) a Proteus-H flow shares fairly with a Proteus-P flow.
+func TestHybridInfiniteThresholdActsPrimary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	s := sim.New(4)
+	path := newTestLink(s, 50, 375000, 0.030)
+	ccH, _ := NewProteusH(s.Rand()) // default threshold is ∞
+	hSnd := transport.NewSender(1, path, ccH)
+	pSnd := transport.NewSender(2, path, NewProteusP(s.Rand()))
+	hSnd.Start()
+	s.At(5, func() { pSnd.Start() })
+	var mh, mp int64
+	s.At(60, func() { mh, mp = hSnd.AckedBytes(), pSnd.AckedBytes() })
+	s.Run(160)
+	th := float64(hSnd.AckedBytes()-mh) * 8 / 100 / 1e6
+	tp := float64(pSnd.AckedBytes()-mp) * 8 / 100 / 1e6
+	// Rough fairness: neither side should be starved.
+	if th < 0.2*(th+tp) || tp < 0.2*(th+tp) {
+		t.Errorf("∞-threshold hybrid should share like a primary: H=%.1f P=%.1f", th, tp)
+	}
+}

@@ -1,0 +1,234 @@
+// Package core implements the paper's primary contribution: the PCC
+// Proteus congestion-control framework. It separates congestion control
+// into a utility module (a library of utility functions — primary,
+// scavenger, hybrid, custom — computed over per-monitor-interval
+// performance metrics) and a rate-control module (Vivace-style online
+// gradient ascent, extended with Proteus's majority-of-three rule), plus
+// the noise-tolerance mechanisms of §5 (per-ACK RTT sample filtering,
+// per-MI regression-error tolerance, MI-history trending tolerance).
+//
+// A single Controller instance can switch utility functions mid-flow via
+// SetUtility — the paper's flexibility goal — so an application moves
+// between primary, scavenger, and hybrid service without restarting the
+// connection.
+package core
+
+import "math"
+
+// Metrics summarizes one monitor interval, in the units the paper's
+// utility functions use: rates in Mbps, times in seconds.
+type Metrics struct {
+	RateMbps     float64 // average sending rate over the MI
+	LossRate     float64 // fraction of the MI's packets lost
+	RTTGradient  float64 // d(RTT)/dt, seconds per second (post-tolerance)
+	RTTDeviation float64 // σ(RTT) within the MI, seconds (post-tolerance)
+	AvgRTT       float64 // mean RTT of the MI, seconds
+	Duration     float64 // MI length, seconds
+}
+
+// UtilityFunc maps MI metrics to a scalar utility. Implementations must
+// be pure functions of the metrics (plus their own parameters) so the
+// rate controller can compare utilities across sending rates.
+type UtilityFunc interface {
+	Name() string
+	Utility(m Metrics) float64
+}
+
+// PrimaryParams are the constants of the Proteus-P utility function
+// (eq. 1), defaulted to the PCC Vivace values the paper adopts.
+type PrimaryParams struct {
+	T float64 // throughput exponent t ∈ (0,1); concavity
+	B float64 // latency-gradient coefficient b > 0
+	C float64 // loss coefficient c (11.35 tolerates 5% random loss)
+}
+
+// DefaultPrimaryParams returns t=0.9, b=900, c=11.35 as used in §6.
+func DefaultPrimaryParams() PrimaryParams { return PrimaryParams{T: 0.9, B: 900, C: 11.35} }
+
+// Primary is the Proteus-P utility (eq. 1):
+//
+//	u_P(x) = x^t − b·x·max(0, d(RTT)/dt) − c·x·L
+//
+// Negative RTT gradient is ignored — the paper's modification to Vivace
+// that avoids slow convergence from over-rewarding queue drain.
+type Primary struct {
+	PrimaryParams
+}
+
+// NewPrimary returns Proteus-P with the paper's default parameters.
+func NewPrimary() *Primary { return &Primary{DefaultPrimaryParams()} }
+
+// Name implements UtilityFunc.
+func (u *Primary) Name() string { return "proteus-p" }
+
+// Utility implements UtilityFunc.
+func (u *Primary) Utility(m Metrics) float64 {
+	x := m.RateMbps
+	if x < 0 {
+		x = 0
+	}
+	grad := m.RTTGradient
+	if grad < 0 {
+		grad = 0
+	}
+	return math.Pow(x, u.T) - u.B*x*grad - u.C*x*m.LossRate
+}
+
+// Scavenger is the Proteus-S utility (eq. 2):
+//
+//	u_S(x) = u_P(x) − d·x·σ(RTT)
+//
+// RTT deviation — the standard deviation of RTT samples within the MI —
+// is the competition indicator of §4.2: it fires on the buffer-occupancy
+// oscillation that competing senders' probing produces, earlier than
+// loss or sustained gradient, and it is a metric primary protocols do
+// not themselves penalize.
+type Scavenger struct {
+	PrimaryParams
+	D float64 // RTT-deviation coefficient d (σ in seconds)
+}
+
+// NewScavenger returns Proteus-S with this implementation's default
+// deviation coefficient (see DefaultScavengerD).
+func NewScavenger() *Scavenger {
+	return &Scavenger{PrimaryParams: DefaultPrimaryParams(), D: DefaultScavengerD}
+}
+
+// DefaultScavengerD is the RTT-deviation coefficient d of eq. 2. The
+// paper uses 1500 (σ in seconds) on its Emulab/kernel substrate; this
+// emulation's smoothed per-MI deviations at a contested bottleneck run
+// roughly a third of a kernel stack's magnitude (no interrupt jitter,
+// no cross traffic, burst-head RTT sampling), so the default is scaled
+// accordingly. See DESIGN.md §5 on substitution calibration; the
+// scavenger equilibrium x_S ≈ (t/(d·σ̄))^(1/(1-t)) is what is being
+// calibrated.
+const DefaultScavengerD = 5000
+
+// Name implements UtilityFunc.
+func (u *Scavenger) Name() string { return "proteus-s" }
+
+// Utility implements UtilityFunc.
+func (u *Scavenger) Utility(m Metrics) float64 {
+	x := m.RateMbps
+	if x < 0 {
+		x = 0
+	}
+	grad := m.RTTGradient
+	if grad < 0 {
+		grad = 0
+	}
+	return math.Pow(x, u.T) - u.B*x*grad - u.C*x*m.LossRate - u.D*x*m.RTTDeviation
+}
+
+// Hybrid is the Proteus-H piecewise utility (eq. 3): primary below the
+// switching threshold, scavenger at or above it. The threshold is set by
+// the application (e.g. the video rules of §4.4) and may change at any
+// time; there is no explicit mode switch in the control algorithm — the
+// mode emerges from comparing utilities of different sending rates.
+type Hybrid struct {
+	P *Primary
+	S *Scavenger
+
+	thresholdMbps float64
+}
+
+// NewHybrid returns Proteus-H with default P and S components and an
+// infinite threshold (pure primary until the application sets one).
+func NewHybrid() *Hybrid {
+	return &Hybrid{P: NewPrimary(), S: NewScavenger(), thresholdMbps: math.Inf(1)}
+}
+
+// Name implements UtilityFunc.
+func (u *Hybrid) Name() string { return "proteus-h" }
+
+// SetThreshold updates the switching threshold in Mbps. An infinite
+// threshold makes Proteus-H behave as Proteus-P (the §4.4 emergency
+// rule); zero makes it a pure scavenger.
+func (u *Hybrid) SetThreshold(mbps float64) { u.thresholdMbps = mbps }
+
+// Threshold returns the current switching threshold in Mbps.
+func (u *Hybrid) Threshold() float64 { return u.thresholdMbps }
+
+// Utility implements UtilityFunc.
+func (u *Hybrid) Utility(m Metrics) float64 {
+	if m.RateMbps < u.thresholdMbps {
+		return u.P.Utility(m)
+	}
+	return u.S.Utility(m)
+}
+
+// Custom wraps an arbitrary function as a UtilityFunc, letting
+// applications express needs beyond the built-in modes.
+type Custom struct {
+	Label string
+	Fn    func(m Metrics) float64
+}
+
+// Name implements UtilityFunc.
+func (u *Custom) Name() string { return u.Label }
+
+// Utility implements UtilityFunc.
+func (u *Custom) Utility(m Metrics) float64 { return u.Fn(m) }
+
+// VivaceUtility is the unmodified PCC Vivace utility: like Proteus-P but
+// rewarding negative RTT gradient as well (no max(0,·) clamp). Used by
+// the Vivace baseline.
+type VivaceUtility struct {
+	PrimaryParams
+}
+
+// NewVivaceUtility returns the Vivace utility with default parameters.
+func NewVivaceUtility() *VivaceUtility { return &VivaceUtility{DefaultPrimaryParams()} }
+
+// Name implements UtilityFunc.
+func (u *VivaceUtility) Name() string { return "vivace" }
+
+// Utility implements UtilityFunc.
+func (u *VivaceUtility) Utility(m Metrics) float64 {
+	x := m.RateMbps
+	if x < 0 {
+		x = 0
+	}
+	return math.Pow(x, u.T) - u.B*x*m.RTTGradient - u.C*x*m.LossRate
+}
+
+// Proportional is the §2.2 "same metrics, greater penalty" strawman: the
+// proportional-bandwidth-allocation utility of the Vivace paper, in
+// which a sender's aggressiveness is scaled by a weight w —
+//
+//	u_w(x) = w·x^t − b·x·max(0, d(RTT)/dt) − c·x·L
+//
+// so a w < 1 sender tolerates less loss and backs off earlier than a
+// w = 1 sender of the same family. The paper rejects this route for a
+// scavenger for two reasons this implementation lets experiments
+// demonstrate: achieving a small share against a loss-based primary
+// requires *inducing* persistent loss, and against a latency-sensitive
+// primary the weight is irrelevant because the latency-based sender
+// backs off long before the loss signal this utility listens to ever
+// fires.
+type Proportional struct {
+	PrimaryParams
+	W float64 // throughput weight; < 1 deprioritizes, > 1 prioritizes
+}
+
+// NewProportional returns the proportional-allocation utility with the
+// given weight and default constants.
+func NewProportional(w float64) *Proportional {
+	return &Proportional{PrimaryParams: DefaultPrimaryParams(), W: w}
+}
+
+// Name implements UtilityFunc.
+func (u *Proportional) Name() string { return "proportional" }
+
+// Utility implements UtilityFunc.
+func (u *Proportional) Utility(m Metrics) float64 {
+	x := m.RateMbps
+	if x < 0 {
+		x = 0
+	}
+	grad := m.RTTGradient
+	if grad < 0 {
+		grad = 0
+	}
+	return u.W*math.Pow(x, u.T) - u.B*x*grad - u.C*x*m.LossRate
+}

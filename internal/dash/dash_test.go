@@ -1,0 +1,189 @@
+package dash
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pccproteus/internal/cc/cubic"
+	"pccproteus/internal/core"
+	"pccproteus/internal/netem"
+	"pccproteus/internal/sim"
+	"pccproteus/internal/transport"
+)
+
+func testPath(s *sim.Sim, mbps float64) *netem.Path {
+	l := netem.NewLink(s, mbps, 500000, 0.015)
+	return &netem.Path{Link: l, AckDelay: 0.015}
+}
+
+func TestCorpusShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := Corpus(10, 10, rng)
+	if len(c) != 20 {
+		t.Fatalf("corpus size %d", len(c))
+	}
+	for i, v := range c {
+		if v.ChunkDur != 3 {
+			t.Fatal("chunks must be 3 s")
+		}
+		if float64(v.Chunks)*v.ChunkDur < 180 {
+			t.Fatalf("video %d shorter than 3 min", i)
+		}
+		if i < 10 && v.MaxBitrate() < 40 {
+			t.Fatalf("4K video %d tops at %.1f Mbps", i, v.MaxBitrate())
+		}
+		if i >= 10 && (v.MaxBitrate() < 10 || v.MaxBitrate() > 13) {
+			t.Fatalf("1080P video %d tops at %.1f Mbps", i, v.MaxBitrate())
+		}
+	}
+}
+
+func TestChunkBytes(t *testing.T) {
+	v := Video{Ladder: []float64{8}, ChunkDur: 3}
+	if v.ChunkBytes(0) != 3_000_000 {
+		t.Fatalf("8 Mbps × 3 s = 3 MB, got %d", v.ChunkBytes(0))
+	}
+}
+
+func TestBOLAMonotoneInBuffer(t *testing.T) {
+	v := Video{Ladder: HDLadder, ChunkDur: 3, Chunks: 100}
+	b := NewBOLA(24)
+	prev := -1
+	for buf := 0.0; buf <= 24; buf += 1.5 {
+		q := b.Choose(buf, v)
+		if q < prev {
+			t.Fatalf("BOLA quality decreased with more buffer: %d -> %d at %.1fs", prev, q, buf)
+		}
+		prev = q
+	}
+	if b.Choose(0, v) != 0 {
+		t.Fatal("empty buffer must pick the lowest rung")
+	}
+	if b.Choose(23, v) != len(v.Ladder)-1 {
+		t.Fatalf("full buffer should pick the top rung, got %d", b.Choose(23, v))
+	}
+}
+
+// Property: BOLA always returns a valid ladder index.
+func TestQuickBOLAValidIndex(t *testing.T) {
+	v := Video{Ladder: FourKLadder, ChunkDur: 3, Chunks: 100}
+	b := NewBOLA(24)
+	f := func(buf16 uint16) bool {
+		buf := float64(buf16) / 100
+		q := b.Choose(buf, v)
+		return q >= 0 && q < len(v.Ladder)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlayerStreamsSmoothlyWithAmpleBandwidth(t *testing.T) {
+	s := sim.New(1)
+	path := testPath(s, 100)
+	snd := transport.NewSender(1, path, cubic.New())
+	v := Video{Name: "hd", Ladder: HDLadder, ChunkDur: 3, Chunks: 40}
+	p := NewPlayer(s, snd, v, NewBOLA(24), 24)
+	p.Start()
+	s.Run(200)
+	m := p.Metrics()
+	if !p.Done() {
+		t.Fatalf("video did not finish (chunk %d)", p.nextChunk)
+	}
+	if m.RebufferRatio() > 0.001 {
+		t.Fatalf("rebuffer ratio %.4f on a 100 Mbps link", m.RebufferRatio())
+	}
+	// With 100 Mbps for an 11 Mbps ladder, the ABR should mostly sit at
+	// the top rung.
+	if m.AvgBitrate() < 0.8*v.MaxBitrate() {
+		t.Fatalf("avg bitrate %.1f want near %.1f", m.AvgBitrate(), v.MaxBitrate())
+	}
+}
+
+func TestPlayerRebuffersWhenStarved(t *testing.T) {
+	s := sim.New(2)
+	path := testPath(s, 3) // 3 Mbps cannot smoothly carry even mid rungs
+	snd := transport.NewSender(1, path, cubic.New())
+	v := Video{Name: "hd", Ladder: HDLadder, ChunkDur: 3, Chunks: 60}
+	p := NewPlayer(s, snd, v, ForceMax{}, 24)
+	p.Start()
+	s.Run(120)
+	m := p.Metrics()
+	if m.Rebuffers == 0 || m.StallTime == 0 {
+		t.Fatalf("forced-max on 3 Mbps must stall (rebuffers=%d)", m.Rebuffers)
+	}
+}
+
+func TestPlayerPausesWhenBufferFull(t *testing.T) {
+	s := sim.New(3)
+	path := testPath(s, 100)
+	snd := transport.NewSender(1, path, cubic.New())
+	v := Video{Name: "hd", Ladder: []float64{1}, ChunkDur: 3, Chunks: 1000}
+	p := NewPlayer(s, snd, v, NewBOLA(12), 12)
+	p.Start()
+	s.Run(60)
+	// A 1 Mbps stream on 100 Mbps fills the 12 s buffer almost instantly;
+	// thereafter the fetch rate must track the playback rate (1 chunk per
+	// 3 s), not the link rate.
+	m := p.Metrics()
+	if p.buffer > 12.001 {
+		t.Fatalf("buffer exceeded cap: %.1f", p.buffer)
+	}
+	wantChunks := int(60/3) + int(12/3) + 2
+	if p.nextChunk > wantChunks+2 {
+		t.Fatalf("fetched %d chunks in 60 s, want ≈%d (app-limited)", p.nextChunk, wantChunks)
+	}
+	if m.RebufferRatio() != 0 {
+		t.Fatal("no rebuffering expected")
+	}
+}
+
+func TestHybridThresholdRules(t *testing.T) {
+	s := sim.New(4)
+	path := testPath(s, 100)
+	c, h := newHybridForTest(s)
+	snd := transport.NewSender(1, path, c)
+	v := Video{Name: "hd", Ladder: HDLadder, ChunkDur: 3, Chunks: 100}
+	p := NewPlayer(s, snd, v, NewBOLA(24), 24)
+	p.Hybrid = h
+	p.Start()
+	// Before playback starts, the emergency rule holds (threshold ∞).
+	if !math.IsInf(h.Threshold(), 1) {
+		t.Fatalf("pre-start threshold should be ∞, got %v", h.Threshold())
+	}
+	s.Run(60)
+	// Steady state with plenty of bandwidth: buffer near full → the
+	// buffer-limit rule binds below the sufficient-rate cap.
+	thr := h.Threshold()
+	cap1 := p.SufficientRateG * v.MaxBitrate()
+	if thr > cap1+1e-9 {
+		t.Fatalf("threshold %v exceeds sufficient-rate cap %v", thr, cap1)
+	}
+	if math.IsInf(thr, 1) {
+		t.Fatal("threshold should be finite during smooth playback")
+	}
+	m := p.Metrics()
+	if m.RebufferRatio() > 0 {
+		t.Fatal("unexpected rebuffering")
+	}
+}
+
+func TestMetricsAccessors(t *testing.T) {
+	m := Metrics{ChunksPlayed: 4, BitrateSum: 20, PlayTime: 90, StallTime: 10}
+	if m.AvgBitrate() != 5 {
+		t.Fatal("avg bitrate")
+	}
+	if m.RebufferRatio() != 0.1 {
+		t.Fatal("rebuffer ratio")
+	}
+	var zero Metrics
+	if zero.AvgBitrate() != 0 || zero.RebufferRatio() != 0 {
+		t.Fatal("zero metrics")
+	}
+}
+
+func newHybridForTest(s *sim.Sim) (transport.Controller, *core.Hybrid) {
+	return core.NewProteusH(s.Rand())
+}

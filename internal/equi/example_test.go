@@ -1,0 +1,27 @@
+package equi_test
+
+import (
+	"fmt"
+
+	"pccproteus/internal/equi"
+)
+
+func ExampleHybridPrediction() {
+	// Two Proteus-H senders with thresholds 30 and 40 Mbps on a 65 Mbps
+	// bottleneck: the low-threshold sender caps at its threshold and the
+	// other takes the rest (§4.4).
+	x1, x2 := equi.HybridPrediction(30, 40, 65)
+	fmt.Printf("%.0f %.0f\n", x1, x2)
+	// Output: 30 35
+}
+
+func ExampleParams_Equilibrium() {
+	p := equi.Default(100)
+	rates, ok := p.Equilibrium(make([]equi.SenderKind, 4), nil)
+	spread := rates[0] - rates[3]
+	if spread < 0 {
+		spread = -spread
+	}
+	fmt.Printf("converged=%v fair=%v\n", ok, spread < 0.01*rates[0])
+	// Output: converged=true fair=true
+}

@@ -1,0 +1,248 @@
+package exp
+
+import (
+	"fmt"
+
+	"pccproteus/internal/core"
+	"pccproteus/internal/dash"
+	"pccproteus/internal/sim"
+	"pccproteus/internal/transport"
+	"pccproteus/internal/web"
+)
+
+// accessLink models the §6.2.2 residential downlink: ~100 Mbps wired
+// with a moderate buffer.
+func accessLink() LinkSpec {
+	return LinkSpec{Mbps: 100, RTT: 0.020, BufBytes: 500000}
+}
+
+// fig11Ladder is the video ladder for the DASH-with-scavenger benchmark
+// (top rung ≈ 16 Mbps, matching the bitrate range of Fig. 11(a)).
+var fig11Ladder = []float64{0.6, 1.2, 2.5, 4.5, 7, 11, 16}
+
+// Fig11Background lists the background-flow variants of §6.2.2.
+var Fig11Background = []string{"none", ProtoProteusS, ProtoLEDBAT, ProtoCubic}
+
+// Fig11Video reproduces Fig. 11(a): n concurrent DASH videos (over
+// CUBIC transport, as dash.js over TCP) share the downlink with one
+// long-running background flow; the mean chunk bitrate across videos is
+// reported per background protocol.
+func Fig11Video(o Options) *Table {
+	o = o.withDefaults()
+	counts := []int{1, 2, 4, 8}
+	dur := 180.0
+	if o.Fast {
+		counts = []int{1, 4}
+		dur = 90
+	}
+	t := &Table{
+		Title:   "Fig 11(a): average DASH bitrate (Mbps) vs concurrent videos",
+		XLabel:  "videos",
+		Columns: prefixAll("bg=", Fig11Background),
+	}
+	for _, n := range counts {
+		row := TableRow{X: float64(n)}
+		for _, bg := range Fig11Background {
+			bg := bg
+			n := n
+			avg := meanOver(o.Trials, func(seed int64) float64 {
+				return fig11VideoTrial(seed, n, bg, dur)
+			})
+			row.Cells = append(row.Cells, avg)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func fig11VideoTrial(seed int64, nVideos int, background string, dur float64) float64 {
+	s := sim.New(seed)
+	link := accessLink()
+	path := link.Build(s)
+	video := dash.Video{Name: "vod", Ladder: fig11Ladder, ChunkDur: 3, Chunks: 1 << 20}
+	players := make([]*dash.Player, nVideos)
+	for i := 0; i < nVideos; i++ {
+		snd := transport.NewSender(i+1, path, NewController(s, ProtoCubic))
+		p := dash.NewPlayer(s, snd, video, dash.NewBOLA(24), 24)
+		players[i] = p
+		p.Start()
+	}
+	if background != "none" {
+		bg := transport.NewSender(100, path, NewController(s, background))
+		bg.Start()
+	}
+	s.Run(dur)
+	sum := 0.0
+	for _, p := range players {
+		sum += p.Metrics().AvgBitrate()
+	}
+	return sum / float64(nVideos)
+}
+
+// Fig11Web reproduces Fig. 11(b): pages requested at Poisson rate 1 per
+// 10 s for 10 minutes, with one background flow; returns the PLT
+// distribution per background protocol.
+func Fig11Web(o Options) []CDFSeries {
+	o = o.withDefaults()
+	dur := 600.0
+	if o.Fast {
+		dur = 150
+	}
+	var out []CDFSeries
+	for _, bg := range Fig11Background {
+		se := CDFSeries{Name: "bg=" + bg}
+		for tr := 0; tr < o.Trials; tr++ {
+			se.Values = append(se.Values, fig11WebTrial(int64(tr+1), bg, dur)...)
+		}
+		out = append(out, se)
+	}
+	return out
+}
+
+func fig11WebTrial(seed int64, background string, dur float64) []float64 {
+	s := sim.New(seed)
+	link := accessLink()
+	path := link.Build(s)
+	if background != "none" {
+		bg := transport.NewSender(1, path, NewController(s, background))
+		bg.Start()
+	}
+	var plts []float64
+	connBase := 1000
+	var spawn func()
+	spawn = func() {
+		page := web.RandomPage(s.Rand())
+		pl := web.NewPageLoad(s, path, page, connBase, func(plt float64) {
+			plts = append(plts, plt)
+		})
+		connBase += 100
+		pl.Start()
+		s.After(s.Rand().ExpFloat64()*10, spawn)
+	}
+	s.After(s.Rand().ExpFloat64()*10, spawn)
+	s.Run(dur)
+	return plts
+}
+
+// Fig12Result is one bandwidth point of the hybrid-video experiment.
+type Fig12Result struct {
+	BandwidthMbps float64
+	Mode          string // "proteus-h" or "proteus-p"
+	Bitrate4K     float64
+	Bitrate1080   float64
+	Rebuf4K       float64
+	Rebuf1080     float64
+}
+
+// Fig12 reproduces the §6.3 hybrid-mode video streaming benchmark: one
+// 4K and three 1080P videos stream simultaneously for three minutes over
+// a 30 ms / 900 KB bottleneck of varying bandwidth, with all senders
+// using Proteus-H (thresholds driven by the §4.4 rules) or all using
+// Proteus-P. Setting forceMax pins the ABR at the top rung (Figure 13).
+func Fig12(o Options, forceMax bool) []Fig12Result {
+	o = o.withDefaults()
+	bws := []float64{70, 80, 90, 100, 110, 120}
+	if forceMax {
+		bws = []float64{90, 100, 110, 120, 130, 140}
+	}
+	if o.Fast {
+		if forceMax {
+			bws = []float64{100, 120}
+		} else {
+			bws = []float64{80, 110}
+		}
+	}
+	dur := 180.0
+	var out []Fig12Result
+	for _, bw := range bws {
+		for _, mode := range []string{"proteus-h", "proteus-p"} {
+			mode := mode
+			var b4, b1080, r4, r1080 float64
+			for tr := 0; tr < o.Trials; tr++ {
+				m4, m1080 := fig12Trial(int64(tr+1), bw, mode, forceMax, dur)
+				b4 += m4.AvgBitrate()
+				r4 += m4.RebufferRatio()
+				b1080 += m1080.AvgBitrate()
+				r1080 += m1080.RebufferRatio()
+			}
+			n := float64(o.Trials)
+			out = append(out, Fig12Result{
+				BandwidthMbps: bw, Mode: mode,
+				Bitrate4K: b4 / n, Bitrate1080: b1080 / n,
+				Rebuf4K: r4 / n, Rebuf1080: r1080 / n,
+			})
+		}
+	}
+	return out
+}
+
+func fig12Trial(seed int64, bw float64, mode string, forceMax bool, dur float64) (m4k, m1080 dash.Metrics) {
+	s := sim.New(seed)
+	link := LinkSpec{Mbps: bw, RTT: 0.030, BufBytes: 900000}
+	path := link.Build(s)
+	corpus := dash.Corpus(10, 10, s.Rand())
+	// Randomly select one 4K and three 1080P titles, as in §6.3.
+	videos := []dash.Video{corpus[s.Rand().Intn(10)]}
+	for i := 0; i < 3; i++ {
+		videos = append(videos, corpus[10+s.Rand().Intn(10)])
+	}
+	var abr dash.ABR = dash.NewBOLA(24)
+	if forceMax {
+		abr = dash.ForceMax{}
+	}
+	players := make([]*dash.Player, len(videos))
+	for i, v := range videos {
+		var cc transport.Controller
+		var hybrid *core.Hybrid
+		if mode == "proteus-h" {
+			c, h := core.NewProteusH(s.Rand())
+			cc, hybrid = c, h
+		} else {
+			cc = core.NewProteusP(s.Rand())
+		}
+		snd := transport.NewSender(i+1, path, cc)
+		p := dash.NewPlayer(s, snd, v, abr, 24)
+		p.Hybrid = hybrid
+		players[i] = p
+		p.Start()
+	}
+	s.Run(dur)
+	m4k = players[0].Metrics()
+	var sum dash.Metrics
+	for _, p := range players[1:] {
+		m := p.Metrics()
+		sum.BitrateSum += m.BitrateSum
+		sum.ChunksPlayed += m.ChunksPlayed
+		sum.PlayTime += m.PlayTime
+		sum.StallTime += m.StallTime
+	}
+	return m4k, sum
+}
+
+// Fig12Table renders the hybrid-video results.
+func Fig12Table(results []Fig12Result, forceMax bool) *Table {
+	title := "Fig 12: hybrid mode in adaptive video streaming"
+	if forceMax {
+		title = "Fig 13: rebuffer ratio with ABR forced to highest bitrates"
+	}
+	t := &Table{
+		Title:   title,
+		XLabel:  "bw(Mbps)/mode",
+		Columns: []string{"4K bitrate", "1080P bitrate", "4K rebuf%", "1080P rebuf%"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, TableRow{
+			XName: fmt.Sprintf("%.0f/%s", r.BandwidthMbps, r.Mode),
+			Cells: []float64{r.Bitrate4K, r.Bitrate1080, r.Rebuf4K * 100, r.Rebuf1080 * 100},
+		})
+	}
+	return t
+}
+
+func prefixAll(prefix string, in []string) []string {
+	out := make([]string, len(in))
+	for i, s := range in {
+		out[i] = prefix + s
+	}
+	return out
+}

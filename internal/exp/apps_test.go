@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig11VideoShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	tab := Fig11Video(Options{Fast: true, Trials: 1})
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Columns: none, proteus-s, ledbat, cubic. With 1 video on 100 Mbps
+	// every background still leaves the top rung reachable except the
+	// most aggressive ones; at 4 videos the orderings matter:
+	last := tab.Rows[len(tab.Rows)-1]
+	none, ps, led, cub := last.Cells[0], last.Cells[1], last.Cells[2], last.Cells[3]
+	if none <= 0 || ps <= 0 || led <= 0 || cub <= 0 {
+		t.Fatalf("degenerate bitrates: %v", last.Cells)
+	}
+	// §6.2.2: a Proteus-S background hurts DASH less than a CUBIC one.
+	if ps < cub {
+		t.Errorf("DASH bitrate with Proteus-S bg (%.2f) should beat CUBIC bg (%.2f)", ps, cub)
+	}
+	// And the no-background case is the ceiling.
+	if ps > none*1.05 {
+		t.Errorf("bg=proteus-s (%.2f) cannot exceed no-background (%.2f)", ps, none)
+	}
+}
+
+func TestFig11WebShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	series := Fig11Web(Options{Fast: true, Trials: 1})
+	med := map[string]float64{}
+	for _, s := range series {
+		if len(s.Values) == 0 {
+			t.Fatalf("no page loads for %s", s.Name)
+		}
+		med[s.Name] = median(s.Values)
+	}
+	// Page loads with a Proteus-S background should be far closer to the
+	// idle-link baseline than with a CUBIC background.
+	none := med["bg=none"]
+	ps := med["bg="+ProtoProteusS]
+	cub := med["bg="+ProtoCubic]
+	if !(none <= ps && ps <= cub) {
+		t.Errorf("PLT ordering violated: none=%.2f proteus-s=%.2f cubic=%.2f", none, ps, cub)
+	}
+}
+
+func TestFig12HybridShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	res := Fig12(Options{Fast: true, Trials: 1}, false)
+	byKey := map[string]Fig12Result{}
+	for _, r := range res {
+		byKey[r.Mode+"@"+fmtBW(r.BandwidthMbps)] = r
+	}
+	// At the constrained 110 Mbps point, hybrid mode should lift the 4K
+	// bitrate relative to pure primary without tanking the 1080P streams
+	// (paper: up to +3 Mbps / 11%).
+	h, p := byKey["proteus-h@110"], byKey["proteus-p@110"]
+	if h.Bitrate4K < p.Bitrate4K-0.5 {
+		t.Errorf("hybrid 4K bitrate %.2f should be ≥ primary %.2f", h.Bitrate4K, p.Bitrate4K)
+	}
+	if h.Bitrate1080 < 0.85*p.Bitrate1080 {
+		t.Errorf("hybrid must not tank 1080P: %.2f vs %.2f", h.Bitrate1080, p.Bitrate1080)
+	}
+	if s := Fig12Table(res, false).Render(); !strings.Contains(s, "proteus-h") {
+		t.Error("render incomplete")
+	}
+}
+
+func fmtBW(bw float64) string {
+	switch bw {
+	case 80:
+		return "80"
+	case 110:
+		return "110"
+	case 100:
+		return "100"
+	case 120:
+		return "120"
+	}
+	return "other"
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := range cp {
+		for j := i + 1; j < len(cp); j++ {
+			if cp[j] < cp[i] {
+				cp[i], cp[j] = cp[j], cp[i]
+			}
+		}
+	}
+	return cp[len(cp)/2]
+}

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV emits the table as CSV (header row, then one row per X),
+// ready for external plotting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{t.XLabel}, t.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		rec := make([]string, 0, len(r.Cells)+1)
+		if r.XName != "" {
+			rec = append(rec, r.XName)
+		} else {
+			rec = append(rec, strconv.FormatFloat(r.X, 'g', -1, 64))
+		}
+		for _, c := range r.Cells {
+			rec = append(rec, strconv.FormatFloat(c, 'g', 6, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCDFCSV emits empirical CDFs as long-form CSV
+// (series,value,cumfrac), one row per sample.
+func WriteCDFCSV(w io.Writer, series []CDFSeries) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "value", "cumfrac"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		v := append([]float64(nil), s.Values...)
+		sort.Float64s(v)
+		for i, x := range v {
+			rec := []string{
+				s.Name,
+				strconv.FormatFloat(x, 'g', 6, 64),
+				fmt.Sprintf("%.6f", float64(i+1)/float64(len(v))),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTimelineCSV emits per-second throughput series as long-form CSV
+// (scenario,flow,second,mbps).
+func WriteTimelineCSV(w io.Writer, scenario string, series []TimelineSeries) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scenario", "flow", "second", "mbps"}); err != nil {
+		return err
+	}
+	for fi, s := range series {
+		for sec, v := range s.Mbps {
+			rec := []string{
+				scenario,
+				fmt.Sprintf("%d:%s", fi, s.Name),
+				strconv.Itoa(sec + 1),
+				strconv.FormatFloat(v, 'g', 6, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

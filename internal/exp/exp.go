@@ -1,0 +1,257 @@
+// Package exp is the experiment harness: it reconstructs every figure of
+// the paper's evaluation (§6, §7.1, Appendix B) on the emulated network
+// substrate. Each Fig* function builds the paper's workload, runs it in
+// virtual time, and returns the same rows/series the paper plots, which
+// the cmd/proteusbench CLI renders as text tables.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pccproteus/internal/cc/allegro"
+	"pccproteus/internal/cc/bbr"
+	"pccproteus/internal/cc/copa"
+	"pccproteus/internal/cc/cubic"
+	"pccproteus/internal/cc/fixedrate"
+	"pccproteus/internal/cc/ledbat"
+	"pccproteus/internal/core"
+	"pccproteus/internal/netem"
+	"pccproteus/internal/sim"
+	"pccproteus/internal/stats"
+	"pccproteus/internal/transport"
+)
+
+// Protocol names accepted by NewController. These match the labels used
+// in the paper's figures.
+const (
+	ProtoProteusP = "proteus-p"
+	ProtoProteusS = "proteus-s"
+	ProtoProteusH = "proteus-h"
+	ProtoVivace   = "vivace"
+	ProtoCubic    = "cubic"
+	ProtoBBR      = "bbr"
+	ProtoBBRS     = "bbr-s"
+	ProtoCopa     = "copa"
+	ProtoLEDBAT   = "ledbat"
+	ProtoLEDBAT25 = "ledbat-25"
+	ProtoAllegro  = "allegro"
+	ProtoFixedPfx = "fixed:" // e.g. "fixed:20" = 20 Mbps constant rate
+)
+
+// Primaries are the primary protocols evaluated throughout §6.
+var Primaries = []string{ProtoCubic, ProtoBBR, ProtoCopa, ProtoProteusP, ProtoVivace}
+
+// AllSingle is the single-flow protocol set of Figures 3–5.
+var AllSingle = []string{ProtoProteusS, ProtoLEDBAT, ProtoCubic, ProtoBBR, ProtoProteusP, ProtoCopa, ProtoVivace}
+
+// NewController builds a controller by protocol name. Unknown names
+// panic: experiment definitions are static and a typo should fail loudly.
+func NewController(s *sim.Sim, name string) transport.Controller {
+	switch name {
+	case ProtoProteusP:
+		return core.NewProteusP(s.Rand())
+	case ProtoProteusS:
+		return core.NewProteusS(s.Rand())
+	case ProtoProteusH:
+		c, _ := core.NewProteusH(s.Rand())
+		return c
+	case ProtoVivace:
+		return core.NewVivace(s.Rand())
+	case ProtoCubic:
+		return cubic.New()
+	case ProtoBBR:
+		return bbr.New()
+	case ProtoBBRS:
+		return bbr.NewScavenger()
+	case ProtoCopa:
+		return copa.New()
+	case ProtoLEDBAT:
+		return ledbat.New(0.100)
+	case ProtoLEDBAT25:
+		return ledbat.New(0.025)
+	case ProtoAllegro:
+		return allegro.New(s.Rand())
+	}
+	if strings.HasPrefix(name, ProtoFixedPfx) {
+		mbps, err := strconv.ParseFloat(strings.TrimPrefix(name, ProtoFixedPfx), 64)
+		if err != nil {
+			panic("exp: bad fixed-rate protocol " + name)
+		}
+		return fixedrate.New(mbps)
+	}
+	panic("exp: unknown protocol " + name)
+}
+
+// LinkSpec describes one emulated bottleneck.
+type LinkSpec struct {
+	Mbps     float64
+	RTT      float64 // base round-trip, seconds
+	BufBytes int
+	LossProb float64
+	Jitter   netem.Noise
+	AckHold  bool // bursty-ACK (WiFi MAC) model on the return path
+}
+
+// Build instantiates the path on a simulator.
+func (l LinkSpec) Build(s *sim.Sim) *netem.Path {
+	link := netem.NewLink(s, l.Mbps, l.BufBytes, l.RTT/2)
+	link.LossProb = l.LossProb
+	link.Jitter = l.Jitter
+	p := &netem.Path{Link: link, AckDelay: l.RTT / 2}
+	if l.AckHold {
+		p.Batcher = &netem.AckBatcher{Sim: s, HoldRate: 2, HoldTime: 0.02}
+	}
+	return p
+}
+
+// BDPBytes returns the link's bandwidth-delay product in bytes.
+func (l LinkSpec) BDPBytes() float64 { return l.Mbps * 1e6 / 8 * l.RTT }
+
+// FlowResult summarizes one flow in one run.
+type FlowResult struct {
+	Proto      string
+	Mbps       float64 // mean throughput over the measurement window
+	RTTSamples []float64
+}
+
+// P95RTT returns the 95th-percentile RTT of the flow's samples.
+func (f FlowResult) P95RTT() float64 { return stats.Percentile(f.RTTSamples, 95) }
+
+// FlowSpec is one flow in a scenario.
+type FlowSpec struct {
+	Proto   string
+	StartAt float64
+}
+
+// BurstFor returns the pacing-train length for a protocol. Kernel
+// stacks emit GSO-style multi-packet trains, and user-space UDP senders
+// burst comparably under OS timer granularity, so every congestion
+// controller keeps the transport default; only the constant-bit-rate
+// measurement probe of Figure 2 is configured as perfectly smooth.
+func BurstFor(proto string) int {
+	if strings.HasPrefix(proto, ProtoFixedPfx) {
+		return 1
+	}
+	return 0 // transport default (GSO-style train)
+}
+
+// Run executes a multi-flow scenario on one link and measures each
+// flow's throughput over [measureFrom, duration], returning results in
+// flow order. RTT samples are retained for every flow.
+func Run(seed int64, link LinkSpec, flows []FlowSpec, measureFrom, duration float64) []FlowResult {
+	s := sim.New(seed)
+	path := link.Build(s)
+	senders := make([]*transport.Sender, len(flows))
+	for i, f := range flows {
+		cc := NewController(s, f.Proto)
+		snd := transport.NewSender(i+1, path, cc)
+		snd.Burst = BurstFor(f.Proto)
+		snd.RecordRTT = true
+		senders[i] = snd
+		if f.StartAt <= 0 {
+			snd.Start()
+		} else {
+			at := f.StartAt
+			s.At(at, func() { snd.Start() })
+		}
+	}
+	marks := make([]int64, len(flows))
+	s.At(measureFrom, func() {
+		for i, snd := range senders {
+			marks[i] = snd.AckedBytes()
+		}
+	})
+	s.Run(duration)
+	out := make([]FlowResult, len(flows))
+	for i, snd := range senders {
+		out[i] = FlowResult{
+			Proto:      flows[i].Proto,
+			Mbps:       float64(snd.AckedBytes()-marks[i]) * 8 / (duration - measureFrom) / 1e6,
+			RTTSamples: snd.RTTSamples(),
+		}
+	}
+	return out
+}
+
+// RunSolo measures a single flow's throughput and RTT distribution.
+func RunSolo(seed int64, link LinkSpec, proto string, measureFrom, duration float64) FlowResult {
+	return Run(seed, link, []FlowSpec{{Proto: proto}}, measureFrom, duration)[0]
+}
+
+// meanOver runs fn for trials seeds and averages the results.
+func meanOver(trials int, fn func(seed int64) float64) float64 {
+	sum := 0.0
+	for t := 0; t < trials; t++ {
+		sum += fn(int64(t + 1))
+	}
+	return sum / float64(trials)
+}
+
+// Table is a generic labeled result grid: one row per X value, one
+// column per series, used by the text renderer and the benchmarks.
+type Table struct {
+	Title   string
+	XLabel  string
+	Columns []string
+	Rows    []TableRow
+}
+
+// TableRow is one x-value's cells.
+type TableRow struct {
+	X     float64
+	XName string // optional label overriding X
+	Cells []float64
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	fmt.Fprintf(&b, "%-14s", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %12s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		if r.XName != "" {
+			fmt.Fprintf(&b, "%-14s", r.XName)
+		} else {
+			fmt.Fprintf(&b, "%-14.4g", r.X)
+		}
+		for _, c := range r.Cells {
+			if math.IsNaN(c) {
+				fmt.Fprintf(&b, " %12s", "-")
+			} else {
+				fmt.Fprintf(&b, " %12.4g", c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CDFSeries is a named empirical distribution, for the CDF figures.
+type CDFSeries struct {
+	Name   string
+	Values []float64
+}
+
+// RenderCDFs prints one line per decile for each series.
+func RenderCDFs(title string, series []CDFSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	fmt.Fprintf(&b, "%-26s %6s %6s %6s %6s %6s %6s\n", "series", "p10", "p25", "p50", "p75", "p90", "mean")
+	for _, s := range series {
+		v := append([]float64(nil), s.Values...)
+		sort.Float64s(v)
+		fmt.Fprintf(&b, "%-26s %6.3f %6.3f %6.3f %6.3f %6.3f %6.3f\n", s.Name,
+			stats.PercentileSorted(v, 10), stats.PercentileSorted(v, 25),
+			stats.PercentileSorted(v, 50), stats.PercentileSorted(v, 75),
+			stats.PercentileSorted(v, 90), stats.Mean(v))
+	}
+	return b.String()
+}

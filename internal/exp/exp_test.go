@@ -1,0 +1,367 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pccproteus/internal/sim"
+	"pccproteus/internal/stats"
+)
+
+func fast() Options { return Options{Fast: true, Trials: 1} }
+
+func TestNewControllerKnowsAllProtocols(t *testing.T) {
+	s := sim.New(1)
+	for _, p := range append(append([]string{}, AllSingle...),
+		ProtoProteusH, ProtoBBRS, ProtoLEDBAT25, "fixed:20") {
+		cc := NewController(s, p)
+		if cc == nil {
+			t.Fatalf("nil controller for %s", p)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown protocol must panic")
+		}
+	}()
+	NewController(s, "nonsense")
+}
+
+func TestLinkSpecBuild(t *testing.T) {
+	s := sim.New(1)
+	l := LinkSpec{Mbps: 50, RTT: 0.030, BufBytes: 375000, LossProb: 0.01, AckHold: true}
+	p := l.Build(s)
+	if p.Link.LossProb != 0.01 || p.Batcher == nil {
+		t.Fatal("link options not applied")
+	}
+	if math.Abs(l.BDPBytes()-187500) > 1 {
+		t.Fatalf("BDP %v", l.BDPBytes())
+	}
+}
+
+func TestRunMeasuresWindowedThroughput(t *testing.T) {
+	link := LinkSpec{Mbps: 50, RTT: 0.030, BufBytes: 375000}
+	res := Run(1, link, []FlowSpec{{Proto: "fixed:20"}}, 5, 15)
+	if math.Abs(res[0].Mbps-20) > 1 {
+		t.Fatalf("fixed-rate measured at %.1f", res[0].Mbps)
+	}
+	if len(res[0].RTTSamples) == 0 || res[0].P95RTT() <= 0 {
+		t.Fatal("rtt samples missing")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title: "t", XLabel: "x", Columns: []string{"a", "b"},
+		Rows: []TableRow{
+			{X: 1, Cells: []float64{2, math.NaN()}},
+			{XName: "named", Cells: []float64{3, 4}},
+		},
+	}
+	out := tab.Render()
+	for _, want := range []string{"# t", "a", "named", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	cdf := RenderCDFs("c", []CDFSeries{{Name: "s", Values: []float64{1, 2, 3}}})
+	if !strings.Contains(cdf, "p50") || !strings.Contains(cdf, "s") {
+		t.Fatalf("cdf render:\n%s", cdf)
+	}
+}
+
+func TestFig2DeviationBeatsGradient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	r := Fig2(fast())
+	// The paper's headline §4.2 result: RTT deviation separates congested
+	// from clean far better than RTT gradient (0.6% vs 8.0% confusion).
+	if r.DevConfusion >= r.GradConfusion {
+		t.Fatalf("deviation confusion %.3f should beat gradient %.3f",
+			r.DevConfusion, r.GradConfusion)
+	}
+	if r.DevConfusion > 0.15 {
+		t.Fatalf("deviation confusion %.3f too high to be a useful signal", r.DevConfusion)
+	}
+	// The congested PDF must shift right relative to the clean one.
+	clean := r.DevHistograms[0]
+	congested := r.DevHistograms[len(r.DevHistograms)-1]
+	if clean.N == 0 || congested.N == 0 {
+		t.Fatal("empty histograms")
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	tput, infl := Fig3(fast(), []string{ProtoProteusP, ProtoProteusS, ProtoLEDBAT, ProtoCubic})
+	get := func(tab *Table, bufKB float64, col int) float64 {
+		for _, r := range tab.Rows {
+			if r.X == bufKB {
+				return r.Cells[col]
+			}
+		}
+		t.Fatalf("row %v missing", bufKB)
+		return 0
+	}
+	// Proteus-P saturates (≥80%) with a small buffer; LEDBAT needs far
+	// more (paper: 150 KB for 90%). The absolute small-buffer point
+	// shifts from the paper's 4.5 KB because our senders emit multi-
+	// packet trains (see EXPERIMENTS.md), but the ordering holds.
+	if v := get(tput, 37.5, 0); v < 40 {
+		t.Errorf("Proteus-P at 37.5KB buffer: %.1f Mbps, want ≥40", v)
+	}
+	if l, p := get(tput, 37.5, 2), get(tput, 37.5, 0); l > p {
+		t.Errorf("LEDBAT at 37.5KB (%.1f) should trail Proteus-P (%.1f)", l, p)
+	}
+	// The 4.5 KB (three-packet) row is not asserted: buffers smaller
+	// than one pacing train are dominated by the burst model rather than
+	// the congestion controllers (recorded in EXPERIMENTS.md).
+	if v := get(tput, 375, 2); v < 42 {
+		t.Errorf("LEDBAT at 375KB buffer: %.1f Mbps, want ≥42", v)
+	}
+	// Inflation at 2 BDP: LEDBAT ≈ 1 (keeps buffer at target), Proteus
+	// far lower (paper: ≤10%).
+	if v := get(infl, 375, 2); v < 0.5 {
+		t.Errorf("LEDBAT inflation at 375KB: %.2f, want ≈1", v)
+	}
+	if v := get(infl, 375, 0); v > 0.35 {
+		t.Errorf("Proteus-P inflation at 375KB: %.2f, want small", v)
+	}
+	if v := get(infl, 375, 3); v < 0.5 {
+		t.Errorf("CUBIC inflation at 375KB: %.2f, want ≈1 (bufferbloat)", v)
+	}
+}
+
+func TestFig4LossShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	tab := Fig4(fast(), []string{ProtoProteusP, ProtoLEDBAT, ProtoBBR})
+	get := func(loss float64, col int) float64 {
+		for _, r := range tab.Rows {
+			if r.X == loss {
+				return r.Cells[col]
+			}
+		}
+		t.Fatalf("row %v missing", loss)
+		return 0
+	}
+	clean := get(0, 1)
+	// LEDBAT is fragile even at low loss (paper: 50% degradation at
+	// 0.001); with Fig4's fast grid the first lossy point is 1%.
+	if lossy := get(0.01, 1); lossy > 0.6*clean {
+		t.Errorf("LEDBAT under 1%% loss: %.1f vs clean %.1f, should collapse", lossy, clean)
+	}
+	// BBR barely notices 5%.
+	if v := get(0.05, 2); v < 35 {
+		t.Errorf("BBR at 5%% loss: %.1f, want ≥35", v)
+	}
+	// Proteus-P tolerates its 5%-design-point region far better than
+	// LEDBAT: compare at 3%.
+	if p, l := get(0.03, 0), get(0.03, 1); p < 3*l {
+		t.Errorf("Proteus-P (%.1f) should far exceed LEDBAT (%.1f) at 3%% loss", p, l)
+	}
+}
+
+func TestFig5FairnessShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	tab := Fig5(fast(), []string{ProtoProteusP, ProtoLEDBAT})
+	for _, r := range tab.Rows {
+		if r.Cells[0] < 0.85 {
+			t.Errorf("Proteus-P Jain at n=%v: %.3f, want ≥0.85", r.X, r.Cells[0])
+		}
+	}
+	// LEDBAT's latecomer unfairness develops slowly; in the fast grid we
+	// only require it to be visibly less fair than Proteus-P.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last.Cells[1] > last.Cells[0]-0.01 {
+		t.Errorf("LEDBAT Jain at n=%v: %.3f should trail Proteus-P %.3f", last.X, last.Cells[1], last.Cells[0])
+	}
+}
+
+func TestFig6YieldShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	cells := Fig6(fast(), []string{ProtoLEDBAT, ProtoProteusS})
+	find := func(scv, primary string, buf int) Fig6Cell {
+		for _, c := range cells {
+			if c.Scavenger == scv && c.Primary == primary && c.BufBytes == buf {
+				return c
+			}
+		}
+		t.Fatalf("cell %s/%s/%d missing", scv, primary, buf)
+		return Fig6Cell{}
+	}
+	// Core claims of §6.2, qualitative form:
+	// (1) LEDBAT fails to yield to CUBIC at the shallow buffer (target
+	//     delay exceeds the buffer's max inflation → near fair share).
+	if c := find(ProtoLEDBAT, ProtoCubic, 75000); c.PrimaryRatio > 0.85 {
+		t.Errorf("LEDBAT vs CUBIC @75KB: ratio %.2f — paper says it fails to yield (≈0.5-0.7)", c.PrimaryRatio)
+	}
+	// (2) Proteus-S yields to CUBIC everywhere.
+	if c := find(ProtoProteusS, ProtoCubic, 375000); c.PrimaryRatio < 0.85 {
+		t.Errorf("Proteus-S vs CUBIC @375KB: ratio %.2f, want ≥0.85", c.PrimaryRatio)
+	}
+	// (3) Against latency-aware primaries, Proteus-S beats LEDBAT.
+	for _, primary := range []string{ProtoCopa, ProtoProteusP} {
+		l := find(ProtoLEDBAT, primary, 375000)
+		p := find(ProtoProteusS, primary, 375000)
+		if p.PrimaryRatio <= l.PrimaryRatio {
+			t.Errorf("vs %s @375KB: Proteus-S ratio %.2f should beat LEDBAT %.2f",
+				primary, p.PrimaryRatio, l.PrimaryRatio)
+		}
+	}
+	// (4) Rendering works for each scavenger.
+	if s := Fig6Table(cells, ProtoProteusS).Render(); !strings.Contains(s, "cubic") {
+		t.Error("table render incomplete")
+	}
+}
+
+func TestFig14BBRSShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	series := Fig14(fast())
+	mean := func(xs []float64, from int) float64 {
+		return stats.Mean(xs[from:])
+	}
+	vs := series["bbr_vs_bbrs"]
+	half := len(vs[0].Mbps) / 2
+	if p, s := mean(vs[0].Mbps, half), mean(vs[1].Mbps, half); p < 2*s {
+		t.Errorf("BBR-S should yield to BBR: %.1f vs %.1f", p, s)
+	}
+	cu := series["cubic_vs_bbrs"]
+	if p, s := mean(cu[0].Mbps, half), mean(cu[1].Mbps, half); p < 2*s {
+		t.Errorf("BBR-S should yield to CUBIC: %.1f vs %.1f", p, s)
+	}
+	ss := series["bbrs_vs_bbrs"]
+	a, b := mean(ss[0].Mbps, half), mean(ss[1].Mbps, half)
+	if j := stats.JainIndex([]float64{a, b}); j < 0.7 {
+		t.Errorf("BBR-S vs BBR-S should be roughly fair: %.1f vs %.1f (J=%.2f)", a, b, j)
+	}
+}
+
+func TestWiFiProfilesDeterministic(t *testing.T) {
+	a := WiFiProfiles(8, 7)
+	b := WiFiProfiles(8, 7)
+	for i := range a {
+		if a[i].Link != b[i].Link {
+			t.Fatal("profiles must be deterministic per seed")
+		}
+	}
+	for _, p := range a {
+		if p.Link.Mbps < 10 || p.Link.Mbps > 60 || p.Link.Jitter == nil || !p.Link.AckHold {
+			t.Fatalf("profile out of spec: %+v", p.Link)
+		}
+	}
+}
+
+func TestAblationVariantsCover(t *testing.T) {
+	vs := AblationVariants()
+	if len(vs) != 5 {
+		t.Fatalf("want 5 variants, got %d", len(vs))
+	}
+	names := map[string]bool{}
+	for _, v := range vs {
+		names[v.Name] = true
+	}
+	for _, want := range []string{"full", "no-ack-filter", "no-regression-tol", "no-trending", "two-pair-probes"} {
+		if !names[want] {
+			t.Fatalf("missing variant %s", want)
+		}
+	}
+}
+
+func TestLTESoloShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	tab := LTESolo(Options{Fast: true, Trials: 1}, []string{ProtoCubic, ProtoCopa, ProtoProteusP, ProtoProteusS})
+	get := func(name string) (float64, float64) {
+		for _, r := range tab.Rows {
+			if r.XName == name {
+				return r.Cells[0], r.Cells[1]
+			}
+		}
+		t.Fatalf("row %s missing", name)
+		return 0, 0
+	}
+	cubicMbps, _ := get(ProtoCubic)
+	copaMbps, copaRTT := get(ProtoCopa)
+	pMbps, pRTT := get(ProtoProteusP)
+	sMbps, _ := get(ProtoProteusS)
+	// The §7.2 story on this substrate: ack-clocked window protocols
+	// track the varying capacity; per-ack delay-based COPA keeps latency
+	// lowest; MI-cadence rate control (Proteus-P) reacts a half-second
+	// late to capacity dips and bloats the queue — exactly the
+	// future-work gap the paper concedes; and Proteus-S reads channel
+	// variation as competition and abstains.
+	if cubicMbps < 10 {
+		t.Errorf("CUBIC on LTE-like channel: %.1f Mbps, expected to track capacity", cubicMbps)
+	}
+	if copaMbps < 5 || copaRTT > pRTT {
+		t.Errorf("COPA should hold modest rate at the lowest delay: %.1f Mbps @%.0fms vs Proteus-P @%.0fms",
+			copaMbps, copaRTT, pRTT)
+	}
+	if sMbps > pMbps {
+		t.Errorf("Proteus-S (%.1f) should abstain relative to Proteus-P (%.1f) on a fluctuating channel", sMbps, pMbps)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := &Table{
+		Title: "t", XLabel: "x", Columns: []string{"a", "b"},
+		Rows: []TableRow{
+			{X: 1.5, Cells: []float64{2, 3}},
+			{XName: "row2", Cells: []float64{4, 5}},
+		},
+	}
+	var buf strings.Builder
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{"x,a,b", "1.5,", "row2,"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("csv missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestWriteCDFCSV(t *testing.T) {
+	var buf strings.Builder
+	err := WriteCDFCSV(&buf, []CDFSeries{{Name: "s1", Values: []float64{3, 1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header+3 rows, got %d:\n%s", len(lines), got)
+	}
+	if !strings.HasSuffix(lines[3], "1.000000") {
+		t.Fatalf("last cumfrac must be 1: %s", lines[3])
+	}
+	if !strings.Contains(lines[1], "s1,1,") {
+		t.Fatalf("values must be sorted: %s", lines[1])
+	}
+}
+
+func TestWriteTimelineCSV(t *testing.T) {
+	var buf strings.Builder
+	err := WriteTimelineCSV(&buf, "sc", []TimelineSeries{{Name: "f", Mbps: []float64{1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "sc,0:f,1,1") || !strings.Contains(got, "sc,0:f,2,2") {
+		t.Fatalf("timeline csv wrong:\n%s", got)
+	}
+}

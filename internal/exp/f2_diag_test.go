@@ -1,0 +1,22 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"pccproteus/internal/stats"
+)
+
+func TestDiagFig2(t *testing.T) {
+	if os.Getenv("PROTEUS_DIAG") == "" {
+		t.Skip("diag")
+	}
+	for _, rate := range []float64{0, 9} {
+		devs, grads := fig2Trial(1, rate, 120)
+		fmt.Printf("rate=%v n=%d dev p10=%.5f p50=%.5f p90=%.5f | grad p10=%.5f p50=%.5f p90=%.5f\n",
+			rate, len(devs),
+			stats.Percentile(devs, 10), stats.Percentile(devs, 50), stats.Percentile(devs, 90),
+			stats.Percentile(grads, 10), stats.Percentile(grads, 50), stats.Percentile(grads, 90))
+	}
+}

@@ -1,0 +1,580 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"pccproteus/internal/cc/cubic"
+	"pccproteus/internal/netem"
+	"pccproteus/internal/sim"
+	"pccproteus/internal/stats"
+	"pccproteus/internal/transport"
+)
+
+// Options tunes experiment size. The zero value gives paper-scale runs;
+// Fast selects reduced grids and durations for tests and benchmarks.
+type Options struct {
+	Trials   int
+	Duration float64
+	Fast     bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trials == 0 {
+		if o.Fast {
+			o.Trials = 1
+		} else {
+			o.Trials = 3
+		}
+	}
+	if o.Duration == 0 {
+		if o.Fast {
+			o.Duration = 60
+		} else {
+			o.Duration = 100
+		}
+	}
+	return o
+}
+
+// emulabLink is the default §6 bottleneck: 50 Mbps, 30 ms RTT.
+func emulabLink(bufBytes int) LinkSpec {
+	return LinkSpec{Mbps: 50, RTT: 0.030, BufBytes: bufBytes}
+}
+
+// ---------------------------------------------------------------------
+// Figure 2: RTT deviation vs RTT gradient as competition indicators.
+// ---------------------------------------------------------------------
+
+// Fig2Result carries the PDFs of the two metrics under each cross-flow
+// arrival rate, plus the confusion probabilities.
+type Fig2Result struct {
+	ArrivalRates   []float64
+	DevHistograms  []*stats.Histogram // per arrival rate, deviation (ms)
+	GradHistograms []*stats.Histogram // per arrival rate, |gradient|
+	DevConfusion   float64            // P(metric(9/s) < metric(0/s))
+	GradConfusion  float64
+}
+
+// recordingCC wraps a controller and keeps (sentAt, rtt) pairs.
+type recordingCC struct {
+	transport.Controller
+	sentAt []float64
+	rtts   []float64
+}
+
+func (r *recordingCC) OnAck(a transport.Ack) {
+	r.sentAt = append(r.sentAt, a.SentAt)
+	r.rtts = append(r.rtts, a.RTT)
+	r.Controller.OnAck(a)
+}
+
+// Fig2 reproduces the §4.2 measurement: a 20 Mbps constant-rate probe on
+// a 100 Mbps / 60 ms / 2·BDP bottleneck, with Poisson arrivals of short
+// CUBIC flows (uniform 20–100 KB) at 0–9 flows/sec; RTT deviation and
+// |RTT gradient| are computed over consecutive 1.5·RTT windows.
+func Fig2(o Options) Fig2Result {
+	o = o.withDefaults()
+	res := Fig2Result{ArrivalRates: []float64{0, 3, 6, 9}}
+	dur := 120.0
+	if o.Fast {
+		dur = 40
+	}
+	var devSamples, gradSamples [][]float64
+	for _, rate := range res.ArrivalRates {
+		devs, grads := fig2Trial(1, rate, dur)
+		devSamples = append(devSamples, devs)
+		gradSamples = append(gradSamples, grads)
+		dh := stats.NewHistogram(0, 0.0014, 28) // 0–1.4 ms as in Fig. 2(a)
+		for _, d := range devs {
+			dh.Add(d)
+		}
+		gh := stats.NewHistogram(0, 0.02, 28) // 0–0.02 as in Fig. 2(b)
+		for _, g := range grads {
+			gh.Add(g)
+		}
+		res.DevHistograms = append(res.DevHistograms, dh)
+		res.GradHistograms = append(res.GradHistograms, gh)
+	}
+	res.DevConfusion = stats.ConfusionProbability(devSamples[0], devSamples[len(devSamples)-1])
+	res.GradConfusion = stats.ConfusionProbability(gradSamples[0], gradSamples[len(gradSamples)-1])
+	return res
+}
+
+func fig2Trial(seed int64, flowsPerSec, dur float64) (devs, grads []float64) {
+	s := sim.New(seed)
+	// Mild ambient jitter mirrors the measurement noise visible in the
+	// paper's clean-case PDFs (their 0-flows curves are spread, not a
+	// spike at zero); without it both metrics trivially read zero on an
+	// idle link and the comparison degenerates.
+	link := LinkSpec{Mbps: 100, RTT: 0.060, BufBytes: 1500 * 1000,
+		Jitter: netem.LognormalNoise{Median: 0.00005, Sigma: 0.7}}
+	path := link.Build(s)
+	probe := &recordingCC{Controller: NewController(s, "fixed:20")}
+	snd := transport.NewSender(1, path, probe)
+	snd.Burst = 1 // the paper's probe is a smooth constant-rate UDP flow
+	snd.Start()
+	// Poisson CUBIC cross traffic.
+	if flowsPerSec > 0 {
+		nextID := 2
+		var spawn func()
+		spawn = func() {
+			size := 20000 + s.Rand().Int63n(80001)
+			// IW=3 as in the era's kernels (the flow then lives several
+			// RTTs), and no pacing: classic TCP emits each window as a
+			// line-rate burst — the transient queueing the paper's
+			// deviation signal keys on.
+			f := transport.NewSender(nextID, path, cubic.NewWithIW(3))
+			f.NoPacing = true
+			nextID++
+			f.Limit = size
+			f.Start()
+			s.After(s.Rand().ExpFloat64()/flowsPerSec, spawn)
+		}
+		s.After(s.Rand().ExpFloat64()/flowsPerSec, spawn)
+	}
+	s.Run(dur)
+	// Windowed analysis: consecutive 1.5·RTT windows by send time.
+	win := 1.5 * link.RTT
+	i := 0
+	for i < len(probe.sentAt) {
+		j := i
+		for j < len(probe.sentAt) && probe.sentAt[j] < probe.sentAt[i]+win {
+			j++
+		}
+		if j-i >= 4 {
+			reg := stats.LinearRegression(probe.sentAt[i:j], probe.rtts[i:j])
+			grads = append(grads, math.Abs(reg.Slope))
+			devs = append(devs, stats.StdDev(probe.rtts[i:j]))
+		}
+		i = j
+	}
+	return devs, grads
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 (and 15): bottleneck saturation with varying buffer size.
+// ---------------------------------------------------------------------
+
+// Fig3 sweeps the buffer from 4.5 KB to 900 KB on the 50 Mbps / 30 ms
+// link and reports each protocol's throughput and 95th-percentile
+// inflation ratio. Pass the Appendix-B protocol set to reproduce
+// Figure 15.
+func Fig3(o Options, protocols []string) (throughput, inflation *Table) {
+	o = o.withDefaults()
+	if protocols == nil {
+		protocols = AllSingle
+	}
+	buffers := []int{4500, 9000, 18750, 37500, 75000, 150000, 300000, 375000, 625000, 900000}
+	if o.Fast {
+		buffers = []int{4500, 37500, 150000, 375000, 900000}
+	}
+	throughput = &Table{Title: "Fig 3(a): throughput (Mbps) vs buffer size", XLabel: "buffer(KB)", Columns: protocols}
+	inflation = &Table{Title: "Fig 3(b): 95th-percentile inflation ratio vs buffer size", XLabel: "buffer(KB)", Columns: protocols}
+	for _, buf := range buffers {
+		link := emulabLink(buf)
+		tRow := TableRow{X: float64(buf) / 1000}
+		iRow := TableRow{X: float64(buf) / 1000}
+		for _, proto := range protocols {
+			proto := proto
+			tput := meanOver(o.Trials, func(seed int64) float64 {
+				return RunSolo(seed, link, proto, o.Duration*0.2, o.Duration).Mbps
+			})
+			infl := meanOver(o.Trials, func(seed int64) float64 {
+				r := RunSolo(seed+100, link, proto, o.Duration*0.2, o.Duration)
+				base := link.RTT + float64(netem.MTU)/(link.Mbps*1e6/8)
+				return (r.P95RTT() - base) / (float64(buf) / (link.Mbps * 1e6 / 8))
+			})
+			tRow.Cells = append(tRow.Cells, tput)
+			iRow.Cells = append(iRow.Cells, infl)
+		}
+		throughput.Rows = append(throughput.Rows, tRow)
+		inflation.Rows = append(inflation.Rows, iRow)
+	}
+	return throughput, inflation
+}
+
+// ---------------------------------------------------------------------
+// Figure 4 (and 16): random loss tolerance.
+// ---------------------------------------------------------------------
+
+// Fig4 sweeps non-congestion loss from 0 to 6% with a 2·BDP buffer.
+func Fig4(o Options, protocols []string) *Table {
+	o = o.withDefaults()
+	if protocols == nil {
+		protocols = AllSingle
+	}
+	losses := []float64{0, 0.001, 0.005, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06}
+	if o.Fast {
+		losses = []float64{0, 0.01, 0.03, 0.05}
+	}
+	t := &Table{Title: "Fig 4: throughput (Mbps) vs random loss rate", XLabel: "loss", Columns: protocols}
+	for _, loss := range losses {
+		link := emulabLink(375000)
+		link.LossProb = loss
+		row := TableRow{X: loss}
+		for _, proto := range protocols {
+			proto := proto
+			row.Cells = append(row.Cells, meanOver(o.Trials, func(seed int64) float64 {
+				return RunSolo(seed, link, proto, o.Duration*0.2, o.Duration).Mbps
+			}))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Figure 5 (and 17): Jain's fairness index with competing flows.
+// ---------------------------------------------------------------------
+
+// Fig5 runs n = 2..10 same-protocol flows on a 20n Mbps / 300n KB link,
+// each flow starting 20 s after the previous one, and measures Jain's
+// index over the 200 s after the last start.
+func Fig5(o Options, protocols []string) *Table {
+	o = o.withDefaults()
+	if protocols == nil {
+		protocols = AllSingle
+	}
+	ns := []int{2, 3, 4, 5, 6, 7, 8, 9, 10}
+	measure := 200.0
+	if o.Fast {
+		ns = []int{2, 4, 6}
+		measure = 60
+	}
+	t := &Table{Title: "Fig 5: Jain's fairness index vs number of flows", XLabel: "flows", Columns: protocols}
+	for _, n := range ns {
+		link := LinkSpec{Mbps: 20 * float64(n), RTT: 0.030, BufBytes: 300000 * n}
+		row := TableRow{X: float64(n)}
+		for _, proto := range protocols {
+			proto := proto
+			j := meanOver(o.Trials, func(seed int64) float64 {
+				flows := make([]FlowSpec, n)
+				for i := range flows {
+					flows[i] = FlowSpec{Proto: proto, StartAt: float64(i) * 20}
+				}
+				lastStart := float64(n-1) * 20
+				res := Run(seed, link, flows, lastStart, lastStart+measure)
+				tputs := make([]float64, n)
+				for i, r := range res {
+					tputs[i] = r.Mbps
+				}
+				return stats.JainIndex(tputs)
+			})
+			row.Cells = append(row.Cells, j)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Figure 6 (and 19): scavenger competing with primary protocols.
+// ---------------------------------------------------------------------
+
+// Fig6Cell is one (scavenger, primary, buffer) outcome.
+type Fig6Cell struct {
+	Scavenger, Primary string
+	BufBytes           int
+	PrimaryRatio       float64 // primary tput with scavenger / alone
+	Utilization        float64 // joint tput / capacity
+	RTTRatio           float64 // 95th RTT with scavenger / alone (Fig 7)
+}
+
+// Fig6 runs the §6.2 two-flow competition: one primary flow, then one
+// scavenger 20 s later, under 75 KB (0.4 BDP) and 375 KB (2 BDP)
+// buffers. It also yields the Figure 7 RTT ratios (375 KB case).
+func Fig6(o Options, scavengers []string) []Fig6Cell {
+	o = o.withDefaults()
+	if scavengers == nil {
+		scavengers = []string{ProtoLEDBAT, ProtoProteusS, ProtoProteusP, ProtoCopa}
+	}
+	buffers := []int{75000, 375000}
+	var cells []Fig6Cell
+	dur := 180.0
+	measureFrom := 60.0
+	if o.Fast {
+		dur, measureFrom = 120, 50
+	}
+	for _, buf := range buffers {
+		link := emulabLink(buf)
+		for _, primary := range Primaries {
+			// Baseline: the primary alone.
+			soloT := 0.0
+			soloRTT := 0.0
+			for tr := 0; tr < o.Trials; tr++ {
+				r := RunSolo(int64(tr+1), link, primary, measureFrom, dur)
+				soloT += r.Mbps
+				soloRTT += r.P95RTT()
+			}
+			soloT /= float64(o.Trials)
+			soloRTT /= float64(o.Trials)
+			for _, scv := range scavengers {
+				var pT, sT, pRTT float64
+				for tr := 0; tr < o.Trials; tr++ {
+					res := Run(int64(tr+1), link,
+						[]FlowSpec{{Proto: primary}, {Proto: scv, StartAt: 20}},
+						measureFrom, dur)
+					pT += res[0].Mbps
+					sT += res[1].Mbps
+					pRTT += res[0].P95RTT()
+				}
+				pT /= float64(o.Trials)
+				sT /= float64(o.Trials)
+				pRTT /= float64(o.Trials)
+				cells = append(cells, Fig6Cell{
+					Scavenger: scv, Primary: primary, BufBytes: buf,
+					PrimaryRatio: pT / soloT,
+					Utilization:  (pT + sT) / link.Mbps,
+					RTTRatio:     pRTT / soloRTT,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// Fig6Table renders the yield matrix for one scavenger.
+func Fig6Table(cells []Fig6Cell, scavenger string) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Fig 6: %s as scavenger — primary throughput ratio / joint utilization", scavenger),
+		XLabel:  "primary",
+		Columns: []string{"ratio@75KB", "util@75KB", "ratio@375KB", "util@375KB", "rttRatio@375KB"},
+	}
+	for _, primary := range Primaries {
+		row := TableRow{XName: primary, Cells: []float64{nan(), nan(), nan(), nan(), nan()}}
+		for _, c := range cells {
+			if c.Scavenger != scavenger || c.Primary != primary {
+				continue
+			}
+			if c.BufBytes == 75000 {
+				row.Cells[0], row.Cells[1] = c.PrimaryRatio, c.Utilization
+			} else {
+				row.Cells[2], row.Cells[3], row.Cells[4] = c.PrimaryRatio, c.Utilization, c.RTTRatio
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func nan() float64 { return math.NaN() }
+
+// ---------------------------------------------------------------------
+// Figure 8 (and Appendix B's CDFs): broad configuration sweep.
+// ---------------------------------------------------------------------
+
+// Fig8 sweeps bottleneck configurations (the paper's 180 = 6 bandwidths
+// × 6 RTTs × 5 buffer depths) and returns the CDF of primary throughput
+// ratios for each (primary, scavenger) pairing.
+func Fig8(o Options, primaries, scavengers []string) []CDFSeries {
+	o = o.withDefaults()
+	if primaries == nil {
+		primaries = []string{ProtoBBR, ProtoCubic, ProtoProteusP}
+	}
+	if scavengers == nil {
+		scavengers = []string{ProtoProteusS, ProtoLEDBAT}
+	}
+	bws := []float64{20, 50, 100, 200, 300, 500}
+	rtts := []float64{0.005, 0.010, 0.030, 0.060, 0.100, 0.200}
+	bufs := []float64{0.2, 0.5, 1.0, 2.0, 5.0}
+	if o.Fast {
+		bws = []float64{20, 50, 100}
+		rtts = []float64{0.010, 0.030, 0.100}
+		bufs = []float64{0.5, 2.0}
+	}
+	series := make(map[string]*CDFSeries)
+	for _, p := range primaries {
+		for _, s := range scavengers {
+			key := p + " vs " + s
+			series[key] = &CDFSeries{Name: key}
+		}
+	}
+	seed := int64(1)
+	dur, measureFrom := 150.0, 50.0
+	if o.Fast {
+		dur, measureFrom = 90, 40
+	}
+	for _, bw := range bws {
+		for _, rtt := range rtts {
+			for _, bufBDP := range bufs {
+				link := LinkSpec{Mbps: bw, RTT: rtt, BufBytes: int(bufBDP * bw * 1e6 / 8 * rtt)}
+				if link.BufBytes < 3*netem.MTU {
+					link.BufBytes = 3 * netem.MTU
+				}
+				for _, primary := range primaries {
+					solo := RunSolo(seed, link, primary, measureFrom, dur).Mbps
+					if solo < 0.1 {
+						// A configuration the primary cannot use at all
+						// (e.g. a buffer below one packet train) says
+						// nothing about yielding.
+						continue
+					}
+					for _, scv := range scavengers {
+						res := Run(seed, link,
+							[]FlowSpec{{Proto: primary}, {Proto: scv, StartAt: 20}},
+							measureFrom, dur)
+						ratio := res[0].Mbps / solo
+						if ratio > 1 {
+							ratio = 1
+						}
+						key := primary + " vs " + scv
+						series[key].Values = append(series[key].Values, ratio)
+					}
+				}
+				seed++
+			}
+		}
+	}
+	var out []CDFSeries
+	for _, p := range primaries {
+		for _, s := range scavengers {
+			out = append(out, *series[p+" vs "+s])
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Figure 14: extending RTT deviation to BBR (BBR-S).
+// ---------------------------------------------------------------------
+
+// TimelineSeries is per-second throughput for one flow.
+type TimelineSeries struct {
+	Name string
+	Mbps []float64 // sample i covers second [i, i+1)
+}
+
+// timeline measures per-second throughput of every flow in a scenario.
+func timeline(seed int64, link LinkSpec, flows []FlowSpec, duration float64) []TimelineSeries {
+	s := sim.New(seed)
+	path := link.Build(s)
+	senders := make([]*transport.Sender, len(flows))
+	out := make([]TimelineSeries, len(flows))
+	last := make([]int64, len(flows))
+	for i, f := range flows {
+		cc := NewController(s, f.Proto)
+		snd := transport.NewSender(i+1, path, cc)
+		snd.Burst = BurstFor(f.Proto)
+		senders[i] = snd
+		out[i].Name = f.Proto
+		if f.StartAt <= 0 {
+			snd.Start()
+		} else {
+			at := f.StartAt
+			s.At(at, func() { snd.Start() })
+		}
+	}
+	for sec := 1.0; sec <= duration; sec++ {
+		sec := sec
+		s.At(sec, func() {
+			for i, snd := range senders {
+				out[i].Mbps = append(out[i].Mbps, float64(snd.AckedBytes()-last[i])*8/1e6)
+				last[i] = snd.AckedBytes()
+			}
+		})
+	}
+	s.Run(duration)
+	return out
+}
+
+// Fig14 reproduces §7.1: BBR-S competing in turn with BBR, with BBR-S,
+// and with CUBIC on the 50 Mbps / 30 ms / 375 KB bottleneck; per-second
+// throughput timelines, 200 s each.
+func Fig14(o Options) map[string][]TimelineSeries {
+	o = o.withDefaults()
+	dur := 200.0
+	if o.Fast {
+		dur = 80
+	}
+	link := emulabLink(375000)
+	return map[string][]TimelineSeries{
+		"bbr_vs_bbrs": timeline(1, link, []FlowSpec{
+			{Proto: ProtoBBR}, {Proto: ProtoBBRS, StartAt: 10}}, dur),
+		"bbrs_vs_bbrs": timeline(2, link, []FlowSpec{
+			{Proto: ProtoBBRS}, {Proto: ProtoBBRS, StartAt: 10}}, dur),
+		"cubic_vs_bbrs": timeline(3, link, []FlowSpec{
+			{Proto: ProtoCubic}, {Proto: ProtoBBRS, StartAt: 10}}, dur),
+	}
+}
+
+// Fig18 reproduces the Appendix-B 4-flow timelines: flows join every
+// 100 s and the latecomer dynamics of each protocol are visible in the
+// per-second series.
+func Fig18(o Options, protocols []string) map[string][]TimelineSeries {
+	o = o.withDefaults()
+	if protocols == nil {
+		protocols = []string{ProtoLEDBAT25, ProtoLEDBAT, ProtoProteusP, ProtoProteusS}
+	}
+	dur := 500.0
+	gap := 100.0
+	if o.Fast {
+		dur, gap = 160, 40
+	}
+	link := LinkSpec{Mbps: 80, RTT: 0.030, BufBytes: 1200000}
+	out := make(map[string][]TimelineSeries, len(protocols))
+	for i, proto := range protocols {
+		flows := make([]FlowSpec, 4)
+		for j := range flows {
+			flows[j] = FlowSpec{Proto: proto, StartAt: float64(j) * gap}
+		}
+		out[proto] = timeline(int64(i+1), link, flows, dur)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Extension (§7.2 future work): LTE-like high-fluctuation channels.
+// ---------------------------------------------------------------------
+
+// LTESolo runs each protocol alone on a cellular-like channel whose
+// capacity follows a bounded random walk (mean ≈ 25 Mbps of a 50 Mbps
+// peak, 100 ms steps) with moderate jitter, reporting throughput and
+// 95th-percentile RTT — the environment §7.2 names as untested future
+// work for the noise-tolerance design.
+func LTESolo(o Options, protocols []string) *Table {
+	o = o.withDefaults()
+	if protocols == nil {
+		protocols = AllSingle
+	}
+	t := &Table{
+		Title:   "Extension: LTE-like varying-capacity channel (solo flows)",
+		XLabel:  "protocol",
+		Columns: []string{"Mbps", "p95RTT(ms)"},
+	}
+	dur := o.Duration
+	for _, proto := range protocols {
+		proto := proto
+		var tput, rtt float64
+		for tr := 0; tr < o.Trials; tr++ {
+			tp, p95 := lteTrial(int64(tr+1), proto, dur)
+			tput += tp
+			rtt += p95
+		}
+		n := float64(o.Trials)
+		t.Rows = append(t.Rows, TableRow{XName: proto, Cells: []float64{tput / n, rtt * 1000 / n}})
+	}
+	return t
+}
+
+func lteTrial(seed int64, proto string, dur float64) (mbps, p95 float64) {
+	s := sim.New(seed)
+	link := LinkSpec{
+		Mbps: 50, RTT: 0.050, BufBytes: 600000,
+		Jitter: netem.LognormalNoise{Median: 0.002, Sigma: 0.8},
+	}
+	path := link.Build(s)
+	walk := &netem.RateWalk{Sim: s, Link: path.Link, Interval: 0.1, Sigma: 0.35, MinFac: 0.2, MaxFac: 1.0}
+	walk.Start()
+	cc := NewController(s, proto)
+	snd := transport.NewSender(1, path, cc)
+	snd.Burst = BurstFor(proto)
+	snd.RecordRTT = true
+	snd.Start()
+	var mark int64
+	s.At(dur*0.2, func() { mark = snd.AckedBytes() })
+	s.Run(dur)
+	n := len(snd.RTTSamples())
+	return float64(snd.AckedBytes()-mark) * 8 / (dur * 0.8) / 1e6,
+		stats.Percentile(snd.RTTSamples()[n/5:], 95)
+}

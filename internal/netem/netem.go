@@ -1,0 +1,302 @@
+// Package netem emulates the network substrate the paper runs on: a
+// serializing bottleneck link with a tail-drop byte queue, propagation
+// delay and optional non-congestion random loss, plus the latency-noise
+// models (per-packet jitter, latency spikes, bursty ACK release) that
+// stand in for the paper's live-Internet WiFi paths.
+//
+// All timing is virtual, driven by a sim.Sim; all randomness comes from
+// the simulation's seeded source, so every topology is deterministic.
+package netem
+
+import (
+	"math"
+	"math/rand"
+
+	"pccproteus/internal/sim"
+)
+
+// MTU is the size in bytes of a full data packet on the wire. The paper's
+// analysis (Appendix A) and Emulab setup use 1500-byte packets.
+const MTU = 1500
+
+// Packet is one data packet in flight. ACKs are modeled as scheduling
+// callbacks rather than packets: the reverse path is never the
+// bottleneck in any of the paper's scenarios.
+type Packet struct {
+	FlowID int
+	Seq    int64
+	Size   int     // bytes on the wire
+	SentAt float64 // time the sender released it
+	MI     int64   // monitor-interval tag for PCC-style senders, else 0
+}
+
+// Noise models additive, non-congestion latency (seconds). Implementations
+// must be cheap: one sample per packet.
+type Noise interface {
+	Sample(rng *rand.Rand) float64
+}
+
+// NoNoise is the zero-latency noise model.
+type NoNoise struct{}
+
+// Sample returns 0.
+func (NoNoise) Sample(*rand.Rand) float64 { return 0 }
+
+// LognormalNoise draws lognormal extra latency: exp(N(Mu, Sigma²)) scaled
+// so the median is Median seconds. A heavy right tail matches measured
+// WiFi jitter (the paper: "typical RTT deviation is up to 5 ms but RTT
+// occasionally spikes tens of milliseconds higher").
+type LognormalNoise struct {
+	Median float64 // median extra delay in seconds
+	Sigma  float64 // shape; 0.5–1.0 is WiFi-like
+}
+
+// Sample draws one jitter value.
+func (n LognormalNoise) Sample(rng *rand.Rand) float64 {
+	if n.Median <= 0 {
+		return 0
+	}
+	return n.Median * math.Exp(n.Sigma*rng.NormFloat64())
+}
+
+// SpikeNoise adds rare large latency spikes on top of a base model,
+// emulating WiFi MAC-layer stalls.
+type SpikeNoise struct {
+	Base      Noise
+	SpikeProb float64 // per-packet probability of a spike
+	SpikeMin  float64 // seconds
+	SpikeMax  float64 // seconds
+}
+
+// Sample draws base jitter plus an occasional spike.
+func (n SpikeNoise) Sample(rng *rand.Rand) float64 {
+	d := 0.0
+	if n.Base != nil {
+		d = n.Base.Sample(rng)
+	}
+	if n.SpikeProb > 0 && rng.Float64() < n.SpikeProb {
+		d += n.SpikeMin + rng.Float64()*(n.SpikeMax-n.SpikeMin)
+	}
+	return d
+}
+
+// LinkStats aggregates link-level counters.
+type LinkStats struct {
+	Enqueued   int64 // packets accepted into the queue
+	Dropped    int64 // packets tail-dropped
+	LostRandom int64 // packets destroyed by random loss
+	Delivered  int64 // packets handed to receivers
+	SentBytes  int64 // bytes serialized onto the wire
+}
+
+// Link is a shared bottleneck: a FIFO byte queue drained at Rate, followed
+// by a fixed propagation delay and optional per-packet jitter and random
+// loss. Multiple senders share one Link; queue occupancy (and therefore
+// latency) is global, which is what couples competing flows.
+type Link struct {
+	Sim       *sim.Sim
+	Rate      float64 // bytes per second
+	QueueCap  int     // queue capacity in bytes (tail drop beyond this)
+	PropDelay float64 // one-way propagation delay, seconds
+	LossProb  float64 // random (non-congestion) loss probability
+	Jitter    Noise   // extra forward latency per packet (nil = none)
+
+	queueBytes  int
+	busyUntil   float64
+	lastArrival float64
+	stats       LinkStats
+}
+
+// NewLink builds a bottleneck with rate in bits/sec converted from Mbps,
+// capacity in bytes, and one-way propagation delay in seconds.
+func NewLink(s *sim.Sim, rateMbps float64, queueCapBytes int, propDelay float64) *Link {
+	return &Link{Sim: s, Rate: rateMbps * 1e6 / 8, QueueCap: queueCapBytes, PropDelay: propDelay}
+}
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueBytes returns the current queue occupancy in bytes.
+func (l *Link) QueueBytes() int { return l.queueBytes }
+
+// QueueDelay returns the delay a packet enqueued now would wait before
+// its own serialization begins.
+func (l *Link) QueueDelay() float64 {
+	d := l.busyUntil - l.Sim.Now()
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Send enqueues pkt. It returns false (and counts a drop) if the queue is
+// full. Otherwise deliver is invoked at the packet's arrival time unless
+// the packet falls to random loss, in which case it silently vanishes —
+// the sender must infer the loss, as on a real path.
+func (l *Link) Send(pkt *Packet, deliver func(p *Packet, arrival float64)) bool {
+	if l.queueBytes+pkt.Size > l.QueueCap {
+		l.stats.Dropped++
+		return false
+	}
+	l.queueBytes += pkt.Size
+	l.stats.Enqueued++
+	now := l.Sim.Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	txEnd := start + float64(pkt.Size)/l.Rate
+	l.busyUntil = txEnd
+	lost := l.LossProb > 0 && l.Sim.Rand().Float64() < l.LossProb
+	jitter := 0.0
+	if l.Jitter != nil {
+		jitter = l.Jitter.Sample(l.Sim.Rand())
+	}
+	arrival := txEnd + l.PropDelay + jitter
+	// Jitter models MAC-layer stalls (retransmissions, scheduling), which
+	// block the head of the line: packets behind a delayed one are
+	// delayed too, so delivery stays in order. Per-packet *reordering* by
+	// tens of milliseconds is not something wired or WiFi links do, and
+	// would manufacture phantom losses at the sender.
+	if arrival < l.lastArrival {
+		arrival = l.lastArrival
+	}
+	l.lastArrival = arrival
+	l.Sim.At(txEnd, func() {
+		l.queueBytes -= pkt.Size
+		l.stats.SentBytes += int64(pkt.Size)
+	})
+	if lost {
+		l.stats.LostRandom++
+		return true
+	}
+	l.Sim.At(arrival, func() {
+		l.stats.Delivered++
+		deliver(pkt, arrival)
+	})
+	return true
+}
+
+// AckBatcher models bursty ACK delivery caused by irregular MAC
+// scheduling: "hold" windows open as a Poisson process; ACKs arriving
+// during a hold are queued and released together when it closes. This is
+// the phenomenon Proteus's per-ACK interval filter (§5) defends against.
+type AckBatcher struct {
+	Sim      *sim.Sim
+	HoldRate float64 // hold windows per second (Poisson)
+	HoldTime float64 // seconds each hold lasts
+
+	holdUntil float64
+	nextHold  float64
+	seeded    bool
+}
+
+// Delay returns the extra delay to apply to an ACK arriving now.
+func (b *AckBatcher) Delay() float64 {
+	if b == nil || b.HoldRate <= 0 || b.HoldTime <= 0 {
+		return 0
+	}
+	now := b.Sim.Now()
+	if !b.seeded {
+		b.nextHold = now + b.Sim.Rand().ExpFloat64()/b.HoldRate
+		b.seeded = true
+	}
+	// Advance the hold process up to now.
+	for b.nextHold <= now {
+		b.holdUntil = b.nextHold + b.HoldTime
+		b.nextHold += b.Sim.Rand().ExpFloat64() / b.HoldRate
+	}
+	if now < b.holdUntil {
+		return b.holdUntil - now
+	}
+	return 0
+}
+
+// Path bundles the forward bottleneck with the uncongested return path an
+// ACK takes. Base RTT = Link.PropDelay + AckDelay (+ one MTU
+// serialization).
+type Path struct {
+	Link      *Link
+	AckDelay  float64 // reverse one-way delay, seconds
+	AckJitter Noise
+	Batcher   *AckBatcher
+
+	lastAckArrival float64
+}
+
+// AckArrival computes when an ACK emitted by the receiver at recvTime
+// lands back at the sender. Like the forward direction, ACK jitter is
+// head-of-line blocking and preserves order.
+func (p *Path) AckArrival(recvTime float64) float64 {
+	d := p.AckDelay
+	if p.AckJitter != nil {
+		d += p.AckJitter.Sample(p.Link.Sim.Rand())
+	}
+	if p.Batcher != nil {
+		d += p.Batcher.Delay()
+	}
+	at := recvTime + d
+	if at < p.lastAckArrival {
+		at = p.lastAckArrival
+	}
+	p.lastAckArrival = at
+	return at
+}
+
+// BaseRTT returns the no-queue round-trip time of the path including one
+// full-MTU serialization.
+func (p *Path) BaseRTT() float64 {
+	return p.Link.PropDelay + p.AckDelay + float64(MTU)/p.Link.Rate
+}
+
+// BDP returns the bandwidth-delay product of the path in bytes.
+func (p *Path) BDP() float64 { return p.Link.Rate * p.BaseRTT() }
+
+// RateWalk drives a link's capacity as a bounded geometric random walk,
+// emulating cellular (LTE-like) channels where the scheduler's per-user
+// capacity swings on sub-second timescales (§7.2 names LTE as the
+// high-fluctuation environment left to future work). Every Interval the
+// rate is multiplied by a lognormal step and clamped to
+// [MinFactor, MaxFactor]·Base.
+type RateWalk struct {
+	Sim      *sim.Sim
+	Link     *Link
+	Base     float64 // bytes/sec around which the walk moves
+	Interval float64 // seconds between steps
+	Sigma    float64 // per-step lognormal volatility
+	MinFac   float64
+	MaxFac   float64
+}
+
+// Start begins the walk; it reschedules itself for the life of the
+// simulation.
+func (w *RateWalk) Start() {
+	if w.Base == 0 {
+		w.Base = w.Link.Rate
+	}
+	if w.Interval <= 0 {
+		w.Interval = 0.1
+	}
+	if w.MinFac == 0 {
+		w.MinFac = 0.25
+	}
+	if w.MaxFac == 0 {
+		w.MaxFac = 1.0
+	}
+	if w.Sigma == 0 {
+		w.Sigma = 0.25
+	}
+	w.step()
+}
+
+func (w *RateWalk) step() {
+	f := w.Link.Rate / w.Base * math.Exp(w.Sigma*w.Sim.Rand().NormFloat64())
+	if f < w.MinFac {
+		f = w.MinFac
+	}
+	if f > w.MaxFac {
+		f = w.MaxFac
+	}
+	w.Link.Rate = w.Base * f
+	w.Sim.After(w.Interval, w.step)
+}

@@ -1,0 +1,283 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pccproteus/internal/sim"
+)
+
+func TestLinkSerialization(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, 12, 100000, 0.010) // 12 Mbps = 1.5e6 B/s → 1 ms per 1500B
+	var arrivals []float64
+	for i := 0; i < 3; i++ {
+		l.Send(&Packet{Seq: int64(i), Size: MTU}, func(p *Packet, at float64) {
+			arrivals = append(arrivals, at)
+		})
+	}
+	s.Run(1)
+	if len(arrivals) != 3 {
+		t.Fatalf("delivered %d", len(arrivals))
+	}
+	// Packet i departs at (i+1) ms and arrives 10 ms later.
+	for i, at := range arrivals {
+		want := float64(i+1)*0.001 + 0.010
+		if math.Abs(at-want) > 1e-9 {
+			t.Fatalf("arrival[%d]=%v want %v", i, at, want)
+		}
+	}
+}
+
+func TestLinkTailDrop(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, 12, 3*MTU, 0.010)
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if l.Send(&Packet{Seq: int64(i), Size: MTU}, func(*Packet, float64) {}) {
+			accepted++
+		}
+	}
+	if accepted != 3 {
+		t.Fatalf("accepted=%d want 3", accepted)
+	}
+	if l.Stats().Dropped != 7 {
+		t.Fatalf("drops=%d", l.Stats().Dropped)
+	}
+	s.Run(1)
+	if l.QueueBytes() != 0 {
+		t.Fatalf("queue not drained: %d", l.QueueBytes())
+	}
+}
+
+func TestQueueDrainsAndRefills(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, 12, 2*MTU, 0)
+	l.Send(&Packet{Size: MTU}, func(*Packet, float64) {})
+	l.Send(&Packet{Size: MTU}, func(*Packet, float64) {})
+	if l.QueueBytes() != 2*MTU {
+		t.Fatalf("queue=%d", l.QueueBytes())
+	}
+	s.Run(0.0015) // 1.5 packet times
+	if l.QueueBytes() != MTU {
+		t.Fatalf("after partial drain queue=%d", l.QueueBytes())
+	}
+	if !l.Send(&Packet{Size: MTU}, func(*Packet, float64) {}) {
+		t.Fatal("refill should succeed after drain")
+	}
+}
+
+func TestRandomLoss(t *testing.T) {
+	s := sim.New(7)
+	l := NewLink(s, 1000, 1<<30, 0.001)
+	l.LossProb = 0.3
+	delivered := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		l.Send(&Packet{Size: MTU}, func(*Packet, float64) { delivered++ })
+	}
+	s.Run(1e6)
+	gotLoss := 1 - float64(delivered)/float64(n)
+	if math.Abs(gotLoss-0.3) > 0.02 {
+		t.Fatalf("loss rate %v want ~0.3", gotLoss)
+	}
+	if l.Stats().LostRandom != int64(n-delivered) {
+		t.Fatal("LostRandom counter mismatch")
+	}
+}
+
+func TestQueueDelayReflectsBacklog(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, 12, 1<<20, 0)
+	for i := 0; i < 10; i++ {
+		l.Send(&Packet{Size: MTU}, func(*Packet, float64) {})
+	}
+	// 10 packets × 1 ms serialization each.
+	if d := l.QueueDelay(); math.Abs(d-0.010) > 1e-9 {
+		t.Fatalf("queue delay %v want 10ms", d)
+	}
+	s.Run(1)
+	if l.QueueDelay() != 0 {
+		t.Fatal("queue delay should be 0 when idle")
+	}
+}
+
+func TestLognormalNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := LognormalNoise{Median: 0.002, Sigma: 0.7}
+	var samples []float64
+	for i := 0; i < 20000; i++ {
+		v := n.Sample(rng)
+		if v <= 0 {
+			t.Fatal("lognormal must be positive")
+		}
+		samples = append(samples, v)
+	}
+	// Median should be near the configured 2 ms.
+	below := 0
+	for _, v := range samples {
+		if v < 0.002 {
+			below++
+		}
+	}
+	frac := float64(below) / float64(len(samples))
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("median calibration off: %v below", frac)
+	}
+	if (LognormalNoise{}).Sample(rng) != 0 {
+		t.Fatal("zero-median model must be silent")
+	}
+}
+
+func TestSpikeNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := SpikeNoise{SpikeProb: 0.1, SpikeMin: 0.05, SpikeMax: 0.05}
+	spikes := 0
+	for i := 0; i < 10000; i++ {
+		if n.Sample(rng) >= 0.05 {
+			spikes++
+		}
+	}
+	if spikes < 800 || spikes > 1200 {
+		t.Fatalf("spike frequency %d/10000 want ~1000", spikes)
+	}
+}
+
+func TestAckBatcher(t *testing.T) {
+	s := sim.New(11)
+	b := &AckBatcher{Sim: s, HoldRate: 5, HoldTime: 0.05}
+	// Sample delays across a stretch of virtual time; some must be held.
+	held, zero := 0, 0
+	for i := 0; i < 2000; i++ {
+		s.Run(float64(i) * 0.005)
+		d := b.Delay()
+		if d > 0 {
+			held++
+			if d > 0.05+1e-9 {
+				t.Fatalf("hold delay %v exceeds window", d)
+			}
+		} else {
+			zero++
+		}
+	}
+	if held == 0 || zero == 0 {
+		t.Fatalf("batcher degenerate: held=%d zero=%d", held, zero)
+	}
+	var nilB *AckBatcher
+	if nilB.Delay() != 0 {
+		t.Fatal("nil batcher must be a no-op")
+	}
+}
+
+func TestPathBaseRTTAndBDP(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, 50, 1<<20, 0.015)
+	p := &Path{Link: l, AckDelay: 0.015}
+	wantRTT := 0.030 + 1500/(50e6/8)
+	if math.Abs(p.BaseRTT()-wantRTT) > 1e-9 {
+		t.Fatalf("baseRTT=%v want %v", p.BaseRTT(), wantRTT)
+	}
+	if math.Abs(p.BDP()-l.Rate*wantRTT) > 1e-6 {
+		t.Fatalf("bdp=%v", p.BDP())
+	}
+}
+
+func TestSharedLinkCouplesFlows(t *testing.T) {
+	// Two senders interleave on one link: total service time is the sum.
+	s := sim.New(1)
+	l := NewLink(s, 12, 1<<20, 0)
+	var last float64
+	for i := 0; i < 4; i++ {
+		flow := i % 2
+		l.Send(&Packet{FlowID: flow, Size: MTU}, func(p *Packet, at float64) { last = at })
+	}
+	s.Run(1)
+	if math.Abs(last-0.004) > 1e-9 {
+		t.Fatalf("last arrival %v want 4ms", last)
+	}
+}
+
+// Property: conservation — every packet is dropped, randomly lost, or
+// delivered, and queue occupancy returns to zero.
+func TestQuickLinkConservation(t *testing.T) {
+	f := func(seed int64, sizes []uint8, lossPct uint8) bool {
+		s := sim.New(seed)
+		l := NewLink(s, 10, 5*MTU, 0.001)
+		l.LossProb = float64(lossPct%50) / 100
+		delivered := 0
+		accepted := 0
+		for _, sz := range sizes {
+			size := int(sz)%MTU + 1
+			if l.Send(&Packet{Size: size}, func(*Packet, float64) { delivered++ }) {
+				accepted++
+			}
+		}
+		s.Run(1e9)
+		st := l.Stats()
+		if st.Enqueued != int64(accepted) {
+			return false
+		}
+		if int64(delivered) != st.Delivered {
+			return false
+		}
+		if st.Delivered+st.LostRandom != st.Enqueued {
+			return false
+		}
+		return l.QueueBytes() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arrivals are FIFO — delivery order matches send order.
+func TestQuickLinkFIFO(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		s := sim.New(seed)
+		l := NewLink(s, 100, 1<<30, 0.002)
+		var got []int64
+		for i := int64(0); i < int64(n); i++ {
+			l.Send(&Packet{Seq: i, Size: MTU}, func(p *Packet, at float64) {
+				got = append(got, p.Seq)
+			})
+		}
+		s.Run(1e9)
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateWalkBoundsAndVaries(t *testing.T) {
+	s := sim.New(13)
+	l := NewLink(s, 50, 1<<20, 0.010)
+	w := &RateWalk{Sim: s, Link: l, Interval: 0.05, Sigma: 0.4, MinFac: 0.25, MaxFac: 1.0}
+	w.Start()
+	var rates []float64
+	for i := 1; i <= 400; i++ {
+		i := i
+		s.At(float64(i)*0.05, func() { rates = append(rates, l.Rate) })
+	}
+	s.Run(21)
+	base := 50e6 / 8
+	varied := false
+	for _, r := range rates {
+		if r < 0.25*base-1 || r > 1.0*base+1 {
+			t.Fatalf("rate %v escaped bounds", r)
+		}
+		if math.Abs(r-base) > 0.01*base {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("rate never moved")
+	}
+}

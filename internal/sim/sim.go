@@ -1,0 +1,160 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All experiments in this repository run in virtual time on top of this
+// engine: a binary-heap event queue ordered by (time, insertion sequence)
+// so that simultaneous events execute in a stable, reproducible order, and
+// a single seeded random source per simulation so every run is
+// bit-for-bit repeatable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. Events are ordered by time; ties break on
+// the order in which they were scheduled.
+type event struct {
+	at    float64
+	seq   uint64
+	fn    func()
+	index int
+	dead  bool
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It is safe to call on an already-fired or
+// already-stopped timer; it reports whether the event was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	t.ev.fn = nil
+	return true
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulator. The zero value is not usable; create
+// one with New.
+type Sim struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	running bool
+	stopped bool
+}
+
+// New returns a simulator with its clock at zero and randomness derived
+// from seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Rand returns the simulation's random source. All stochastic models
+// (loss, jitter, workload arrivals) must draw from it so runs stay
+// deterministic.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (s *Sim) At(t float64, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: schedule at %.9f before now %.9f", t, s.now))
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Sim) After(d float64, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Stop halts the event loop after the currently executing event returns.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Pending reports the number of live events in the queue.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, ev := range s.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes events in order until the queue is empty, Stop is called,
+// or the clock would pass until. The clock is left at min(until, time of
+// last executed event); if the horizon is reached, remaining events stay
+// queued and the clock is set to until.
+func (s *Sim) Run(until float64) {
+	if s.running {
+		panic("sim: Run called re-entrantly")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+	for len(s.events) > 0 && !s.stopped {
+		ev := s.events[0]
+		if ev.dead {
+			heap.Pop(&s.events)
+			continue
+		}
+		if ev.at > until {
+			s.now = until
+			return
+		}
+		heap.Pop(&s.events)
+		s.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		ev.dead = true
+		fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}

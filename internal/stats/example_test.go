@@ -1,0 +1,29 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"pccproteus/internal/stats"
+)
+
+func ExampleJainIndex() {
+	fair := stats.JainIndex([]float64{10, 10, 10, 10})
+	unfair := stats.JainIndex([]float64{37, 1, 1, 1})
+	fmt.Printf("fair=%.2f unfair=%.2f\n", fair, unfair)
+	// Output: fair=1.00 unfair=0.29
+}
+
+func ExampleLinearRegression() {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{30, 32, 34, 36} // RTT ramping 2 ms per interval
+	fit := stats.LinearRegression(x, y)
+	fmt.Printf("slope=%.1f intercept=%.1f\n", fit.Slope, fit.Intercept)
+	// Output: slope=2.0 intercept=30.0
+}
+
+func ExampleConfusionProbability() {
+	clean := []float64{0.1, 0.2, 0.1, 0.15}
+	congested := []float64{0.9, 1.1, 0.8, 1.0}
+	fmt.Printf("%.2f\n", stats.ConfusionProbability(clean, congested))
+	// Output: 0.00
+}

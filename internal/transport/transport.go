@@ -1,0 +1,590 @@
+// Package transport implements the end-to-end sender machinery every
+// congestion controller in this repository plugs into: rate pacing and
+// window gating, per-packet acknowledgments carrying RTT and one-way
+// delay, duplicate-ACK and RTO loss detection, RFC 6298 RTT estimation,
+// finite transfers with implicit retransmission accounting, and
+// pause/resume for application-limited flows (video).
+//
+// This is the single codebase the paper's "flexibility" goal calls for:
+// primary protocols, scavengers, and hybrids are all Controller
+// implementations behind one interface, and PCC-style controllers can
+// even swap utility functions on a live connection.
+package transport
+
+import (
+	"math"
+
+	"pccproteus/internal/netem"
+)
+
+// SentPacket is the sender-side record of one transmitted packet. The
+// controller's OnSend hook may set MI to tag the packet with a monitor
+// interval (PCC-style controllers do; others leave it zero).
+type SentPacket struct {
+	Seq    int64
+	Size   int
+	SentAt float64
+	MI     int64
+	acked  bool
+	lost   bool
+}
+
+// Ack describes one acknowledgment delivered to the controller.
+type Ack struct {
+	Seq      int64
+	Bytes    int
+	SentAt   float64
+	RecvAt   float64 // arrival time at the receiver (OWD = RecvAt-SentAt)
+	Now      float64 // ACK arrival time at the sender
+	RTT      float64
+	OWD      float64 // one-way delay, for LEDBAT-style controllers
+	MI       int64
+	Inflight int // bytes in flight after this ack
+}
+
+// Loss describes one packet declared lost.
+type Loss struct {
+	Seq      int64
+	Bytes    int
+	SentAt   float64
+	Now      float64
+	MI       int64
+	Inflight int
+}
+
+// Controller is a congestion-control algorithm. The sender enforces
+// both constraints it reports: packets are paced at PacingRate and never
+// leave more than CWnd bytes in flight.
+//
+// Convention: a window-based protocol (CUBIC, LEDBAT) returns
+// PacingRate() == 0, meaning "pace me at 1.25·cwnd/srtt" — close to how
+// Linux paces TCP — while a rate-based protocol (PCC family, BBR)
+// returns its explicit rate. A purely rate-based protocol returns
+// math.Inf(1) from CWnd.
+type Controller interface {
+	// Name identifies the protocol in experiment output.
+	Name() string
+	// OnSend is invoked for every transmitted packet, before it enters
+	// the network. The controller may tag pkt.MI.
+	OnSend(now float64, pkt *SentPacket)
+	// OnAck is invoked for every acknowledgment.
+	OnAck(ack Ack)
+	// OnLoss is invoked for every packet declared lost (dup-ACK or RTO).
+	OnLoss(loss Loss)
+	// PacingRate returns the target sending rate in bytes/sec, or 0 to
+	// request default cwnd-based pacing.
+	PacingRate() float64
+	// CWnd returns the congestion window in bytes.
+	CWnd() float64
+}
+
+// PauseAware is implemented by controllers that must know when the
+// application stops requesting data (e.g. a full video playback buffer),
+// so they can discard measurement intervals that span idle periods.
+type PauseAware interface {
+	OnAppPause(now float64)
+	OnAppResume(now float64)
+}
+
+// RTTEstimator maintains RFC 6298 smoothed RTT state plus the lifetime
+// minimum.
+type RTTEstimator struct {
+	srtt   float64
+	rttvar float64
+	minRTT float64
+	init   bool
+}
+
+// Update incorporates an RTT sample.
+func (e *RTTEstimator) Update(rtt float64) {
+	if !e.init {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		e.minRTT = rtt
+		e.init = true
+		return
+	}
+	if rtt < e.minRTT {
+		e.minRTT = rtt
+	}
+	d := math.Abs(e.srtt - rtt)
+	e.rttvar = 0.75*e.rttvar + 0.25*d
+	e.srtt = 0.875*e.srtt + 0.125*rtt
+}
+
+// SRTT returns the smoothed RTT (0 before any sample).
+func (e *RTTEstimator) SRTT() float64 { return e.srtt }
+
+// MinRTT returns the lifetime minimum RTT (0 before any sample).
+func (e *RTTEstimator) MinRTT() float64 { return e.minRTT }
+
+// RTO returns the retransmission timeout, floored at 200 ms.
+func (e *RTTEstimator) RTO() float64 {
+	if !e.init {
+		return 1.0
+	}
+	rto := e.srtt + 4*e.rttvar
+	if rto < 0.2 {
+		rto = 0.2
+	}
+	return rto
+}
+
+// Valid reports whether any sample has been observed.
+func (e *RTTEstimator) Valid() bool { return e.init }
+
+const (
+	dupAckThreshold = 3
+	initialWindow   = 10 * netem.MTU
+
+	// DefaultBurst is the per-pacing-event packet train length used when
+	// Sender.Burst is zero. Four packets approximates Linux's default
+	// GSO/pacing behavior at these rates.
+	DefaultBurst = 4
+)
+
+// Sender drives one flow. Create with NewSender, then Start.
+type Sender struct {
+	ID   int
+	Path *netem.Path
+	CC   Controller
+
+	// Limit, when positive, bounds the transfer: the flow completes once
+	// Limit bytes are acknowledged. Lost bytes are re-credited so the
+	// flow keeps transmitting replacements, modeling retransmission.
+	Limit int64
+	// OnComplete fires once when a finite transfer finishes.
+	OnComplete func(now float64)
+	// OnDeliver fires at the receiver for every arriving packet, at the
+	// packet's arrival time — the hook applications (video, web) consume.
+	OnDeliver func(now float64, bytes int)
+	// RecordRTT enables retention of every RTT sample for percentile
+	// analysis.
+	RecordRTT bool
+	// Burst is the number of packets released back-to-back per pacing
+	// event, modeling segmentation offload and interrupt coalescing in
+	// real sender stacks (Linux pacing emits multi-packet trains). The
+	// pacing gap after a burst covers the whole burst, so the average
+	// rate is unchanged. Zero means DefaultBurst.
+	Burst int
+	// NoPacing disables rate pacing for window-based controllers: the
+	// sender transmits whenever the window allows, at line rate — the
+	// classic non-paced TCP behavior whose window-sized bursts are a
+	// major source of transient queueing.
+	NoPacing bool
+
+	rtt      RTTEstimator
+	unacked  []*SentPacket // ordered by Seq; pruned from the front
+	seq      int64
+	inflight int
+	launched int64 // bytes released minus re-credited losses
+	acked    int64
+	lostB    int64
+	recvd    int64
+	maxAcked int64
+
+	nextSend   float64
+	timerSet   bool
+	blocked    bool
+	paused     bool
+	done       bool
+	started    bool
+	rtoTimer   timerHandle
+	rttSamples []float64
+	startTime  float64
+}
+
+type timerHandle interface{ Stop() bool }
+
+// NewSender wires a flow onto a path with the given controller.
+func NewSender(id int, path *netem.Path, cc Controller) *Sender {
+	return &Sender{ID: id, Path: path, CC: cc, maxAcked: -1}
+}
+
+// Start begins transmission at the current simulation time.
+func (s *Sender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.startTime = s.Path.Link.Sim.Now()
+	s.armRTO()
+	s.trySend()
+}
+
+// Stop halts the flow permanently.
+func (s *Sender) Stop() {
+	s.done = true
+	if s.rtoTimer != nil {
+		s.rtoTimer.Stop()
+	}
+}
+
+// Pause suspends transmission (application-limited). In-flight packets
+// still drain and ack. Pausing a completed finite transfer is valid and
+// keeps a subsequent Extend from transmitting until Resume.
+func (s *Sender) Pause() {
+	if s.paused {
+		return
+	}
+	s.paused = true
+	if pa, ok := s.CC.(PauseAware); ok {
+		pa.OnAppPause(s.Path.Link.Sim.Now())
+	}
+}
+
+// Resume restarts a paused flow.
+func (s *Sender) Resume() {
+	if !s.paused {
+		return
+	}
+	s.paused = false
+	if pa, ok := s.CC.(PauseAware); ok {
+		pa.OnAppResume(s.Path.Link.Sim.Now())
+	}
+	now := s.Path.Link.Sim.Now()
+	if s.nextSend < now {
+		s.nextSend = now
+	}
+	s.trySend()
+}
+
+// Extend adds more bytes to a finite transfer (e.g. the next video
+// chunk) and resumes if needed. A completed flow is revived.
+func (s *Sender) Extend(bytes int64) {
+	s.Limit += bytes
+	if s.done && s.started {
+		s.done = false
+		s.armRTO()
+	}
+	now := s.Path.Link.Sim.Now()
+	if s.nextSend < now {
+		s.nextSend = now
+	}
+	if s.started {
+		s.trySend()
+	}
+}
+
+// AckedBytes returns cumulative acknowledged bytes.
+func (s *Sender) AckedBytes() int64 { return s.acked }
+
+// ReceivedBytes returns cumulative bytes that arrived at the receiver.
+func (s *Sender) ReceivedBytes() int64 { return s.recvd }
+
+// LostBytes returns cumulative bytes declared lost.
+func (s *Sender) LostBytes() int64 { return s.lostB }
+
+// InflightBytes returns bytes currently in flight.
+func (s *Sender) InflightBytes() int { return s.inflight }
+
+// RTTSamples returns the retained RTT samples (RecordRTT must be set).
+func (s *Sender) RTTSamples() []float64 { return s.rttSamples }
+
+// SRTT exposes the smoothed RTT for diagnostics.
+func (s *Sender) SRTT() float64 { return s.rtt.SRTT() }
+
+// MinRTT exposes the observed minimum RTT.
+func (s *Sender) MinRTT() float64 { return s.rtt.MinRTT() }
+
+// Done reports whether a finite transfer has completed.
+func (s *Sender) Done() bool { return s.done }
+
+func (s *Sender) pacingRate() float64 {
+	if r := s.CC.PacingRate(); r > 0 {
+		return r
+	}
+	if s.NoPacing {
+		return math.Inf(1)
+	}
+	// Default pacing for window-based controllers: 1.25·cwnd/srtt once an
+	// RTT estimate exists; before that, release the initial window as a
+	// burst (ack clocking takes over within one RTT).
+	if !s.rtt.Valid() {
+		return math.Inf(1)
+	}
+	cwnd := s.CC.CWnd()
+	if math.IsInf(cwnd, 1) {
+		return math.Inf(1)
+	}
+	return 1.25 * cwnd / s.rtt.SRTT()
+}
+
+func (s *Sender) sendAllowed() bool {
+	if s.done || s.paused || !s.started {
+		return false
+	}
+	if s.Limit > 0 && s.launched >= s.Limit {
+		return false
+	}
+	return true
+}
+
+func (s *Sender) trySend() {
+	if s.timerSet || !s.sendAllowed() {
+		return
+	}
+	if float64(s.inflight+netem.MTU) > s.CC.CWnd() {
+		s.blocked = true
+		return
+	}
+	sm := s.Path.Link.Sim
+	now := sm.Now()
+	at := s.nextSend
+	if at < now {
+		at = now
+	}
+	s.timerSet = true
+	sm.At(at, s.emit)
+}
+
+func (s *Sender) emit() {
+	s.timerSet = false
+	if !s.sendAllowed() {
+		return
+	}
+	sm := s.Path.Link.Sim
+	now := sm.Now()
+	burst := s.Burst
+	if burst <= 0 {
+		burst = DefaultBurst
+	}
+	if burst > 1 {
+		// Randomize the train length (mean ≈ burst) so aggregate arrivals
+		// at the bottleneck are stochastic. This is what gives a nearly
+		// saturated queue its realistic variance (the M/D/1 blow-up as
+		// utilization approaches 1) — the early competition signal §4.2
+		// builds on. A fixed train length would produce an artificially
+		// periodic, low-variance pattern.
+		burst = 1 + sm.Rand().Intn(2*burst-1)
+	}
+	sent := 0
+	for i := 0; i < burst; i++ {
+		if !s.sendAllowed() {
+			break
+		}
+		if float64(s.inflight+netem.MTU) > s.CC.CWnd() {
+			s.blocked = true
+			break
+		}
+		size := netem.MTU
+		if s.Limit > 0 {
+			if rem := s.Limit - s.launched; rem < int64(size) {
+				size = int(rem)
+			}
+		}
+		pkt := &SentPacket{Seq: s.seq, Size: size, SentAt: now}
+		s.seq++
+		s.CC.OnSend(now, pkt)
+		s.unacked = append(s.unacked, pkt)
+		s.inflight += size
+		s.launched += int64(size)
+		sent += size
+
+		wire := &netem.Packet{FlowID: s.ID, Seq: pkt.Seq, Size: size, SentAt: now, MI: pkt.MI}
+		if !s.Path.Link.Send(wire, s.deliver) {
+			// Tail drop at the queue: the packet is gone; the sender
+			// will discover this through dup-ACKs or RTO like any other
+			// loss.
+			_ = wire
+		}
+	}
+	if sent == 0 {
+		return
+	}
+	if s.rtoTimer == nil {
+		s.armRTO()
+	}
+	rate := s.pacingRate()
+	if math.IsInf(rate, 1) {
+		s.nextSend = now
+	} else {
+		s.nextSend = now + float64(sent)/rate
+	}
+	s.trySend()
+}
+
+// deliver runs at the receiver when a data packet arrives.
+func (s *Sender) deliver(p *netem.Packet, arrival float64) {
+	s.recvd += int64(p.Size)
+	if s.OnDeliver != nil {
+		s.OnDeliver(arrival, p.Size)
+	}
+	ackAt := s.Path.AckArrival(arrival)
+	s.Path.Link.Sim.At(ackAt, func() { s.handleAck(p, arrival) })
+}
+
+func (s *Sender) handleAck(p *netem.Packet, recvAt float64) {
+	if s.done && s.Limit > 0 {
+		return
+	}
+	sm := s.Path.Link.Sim
+	now := sm.Now()
+	idx := s.findUnacked(p.Seq)
+	if idx < 0 {
+		return // already declared lost, or stale after completion
+	}
+	sp := s.unacked[idx]
+	if sp.acked || sp.lost {
+		return
+	}
+	sp.acked = true
+	s.inflight -= sp.Size
+	s.acked += int64(sp.Size)
+	if p.Seq > s.maxAcked {
+		s.maxAcked = p.Seq
+	}
+	rtt := now - sp.SentAt
+	s.rtt.Update(rtt)
+	if s.RecordRTT {
+		s.rttSamples = append(s.rttSamples, rtt)
+	}
+	ack := Ack{
+		Seq: p.Seq, Bytes: sp.Size, SentAt: sp.SentAt, RecvAt: recvAt,
+		Now: now, RTT: rtt, OWD: recvAt - sp.SentAt, MI: sp.MI,
+		Inflight: s.inflight,
+	}
+	s.CC.OnAck(ack)
+	s.detectDupAckLosses(now)
+	s.prune()
+	s.armRTO()
+	if s.Limit > 0 && s.acked >= s.Limit && !s.done {
+		s.done = true
+		if s.rtoTimer != nil {
+			s.rtoTimer.Stop()
+		}
+		if s.OnComplete != nil {
+			s.OnComplete(now)
+		}
+		return
+	}
+	if s.blocked || !s.timerSet {
+		s.blocked = false
+		if s.nextSend < now {
+			s.nextSend = now
+		}
+		s.trySend()
+	}
+}
+
+// detectDupAckLosses declares packets lost that are dupAckThreshold
+// sequence numbers behind the highest ack — the fast-retransmit analog
+// for per-packet ACKs — but only once they are also older than an
+// RTT-plus-reordering-window, in the style of RACK (RFC 8985). Pure
+// sequence counting misfires badly on jittery paths, where packets of
+// one burst routinely reorder by more than the threshold.
+func (s *Sender) detectDupAckLosses(now float64) {
+	window := s.rtt.SRTT() + s.reorderWindow()
+	for _, sp := range s.unacked {
+		if sp.Seq > s.maxAcked-dupAckThreshold {
+			break
+		}
+		if !sp.acked && !sp.lost && now-sp.SentAt > window {
+			s.markLost(sp, now)
+		}
+	}
+}
+
+// reorderWindow returns the extra delay tolerated for out-of-order
+// delivery before a sequence gap is treated as loss.
+func (s *Sender) reorderWindow() float64 {
+	w := 4 * s.rtt.rttvar
+	if w < 0.004 {
+		w = 0.004
+	}
+	return w
+}
+
+func (s *Sender) markLost(sp *SentPacket, now float64) {
+	sp.lost = true
+	s.inflight -= sp.Size
+	s.lostB += int64(sp.Size)
+	if s.Limit > 0 {
+		// Re-credit the bytes so replacements are transmitted.
+		s.launched -= int64(sp.Size)
+	}
+	s.CC.OnLoss(Loss{
+		Seq: sp.Seq, Bytes: sp.Size, SentAt: sp.SentAt, Now: now,
+		MI: sp.MI, Inflight: s.inflight,
+	})
+}
+
+func (s *Sender) findUnacked(seq int64) int {
+	// unacked is sorted by Seq; binary search.
+	lo, hi := 0, len(s.unacked)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.unacked[mid].Seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.unacked) && s.unacked[lo].Seq == seq {
+		return lo
+	}
+	return -1
+}
+
+func (s *Sender) prune() {
+	i := 0
+	for i < len(s.unacked) && (s.unacked[i].acked || s.unacked[i].lost) {
+		i++
+	}
+	if i > 0 {
+		s.unacked = s.unacked[i:]
+	}
+}
+
+func (s *Sender) armRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Stop()
+		s.rtoTimer = nil
+	}
+	if s.done {
+		return
+	}
+	oldest := s.oldestOutstanding()
+	if oldest == nil {
+		return
+	}
+	sm := s.Path.Link.Sim
+	deadline := oldest.SentAt + s.rtt.RTO()
+	if deadline < sm.Now() {
+		deadline = sm.Now()
+	}
+	s.rtoTimer = sm.At(deadline, s.onRTO)
+}
+
+func (s *Sender) oldestOutstanding() *SentPacket {
+	for _, sp := range s.unacked {
+		if !sp.acked && !sp.lost {
+			return sp
+		}
+	}
+	return nil
+}
+
+func (s *Sender) onRTO() {
+	s.rtoTimer = nil
+	if s.done {
+		return
+	}
+	sm := s.Path.Link.Sim
+	now := sm.Now()
+	rto := s.rtt.RTO()
+	for _, sp := range s.unacked {
+		if !sp.acked && !sp.lost && now-sp.SentAt >= rto-1e-12 {
+			s.markLost(sp, now)
+		}
+	}
+	s.prune()
+	s.armRTO()
+	if s.blocked || !s.timerSet {
+		s.blocked = false
+		if s.nextSend < now {
+			s.nextSend = now
+		}
+		s.trySend()
+	}
+}

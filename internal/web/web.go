@@ -1,0 +1,144 @@
+// Package web models web page loading for the §6.2.2 application
+// benchmark: a page is a main document plus a set of objects fetched
+// over a limited number of concurrent CUBIC connections (a browser's
+// classic per-host limit), and the page-load time (PLT) is when the last
+// object completes. Page requests arrive as a Poisson process while an
+// optional background flow scavenges (or competes) on the same downlink.
+package web
+
+import (
+	"math/rand"
+
+	"pccproteus/internal/cc/cubic"
+	"pccproteus/internal/netem"
+	"pccproteus/internal/sim"
+	"pccproteus/internal/transport"
+)
+
+// PageSpec is one page's object sizes in bytes.
+type PageSpec struct {
+	Objects []int64
+}
+
+// TotalBytes returns the page weight.
+func (p PageSpec) TotalBytes() int64 {
+	var t int64
+	for _, o := range p.Objects {
+		t += o
+	}
+	return t
+}
+
+// RandomPage draws a page in the style of the Alexa-top-sites era: a
+// 50–300 KB document plus 25–70 objects with a heavy-tailed size mix,
+// totaling roughly 1–5 MB (the 2019 median page weighed ~2 MB across
+// ~70 requests).
+func RandomPage(rng *rand.Rand) PageSpec {
+	n := 25 + rng.Intn(46)
+	objs := make([]int64, 0, n+1)
+	objs = append(objs, 50_000+rng.Int63n(250_000)) // main document
+	for i := 0; i < n; i++ {
+		var size int64
+		switch {
+		case rng.Float64() < 0.15: // images / media
+			size = 100_000 + rng.Int63n(400_000)
+		case rng.Float64() < 0.5: // scripts / css
+			size = 30_000 + rng.Int63n(120_000)
+		default: // small assets
+			size = 2_000 + rng.Int63n(30_000)
+		}
+		objs = append(objs, size)
+	}
+	return PageSpec{Objects: objs}
+}
+
+// MaxConnections is the per-page parallel connection limit (browsers'
+// per-host default).
+const MaxConnections = 6
+
+// HandshakeRTTs is the connection-setup cost charged before a fetch's
+// first byte (TCP + TLS ≈ 2 round trips).
+const HandshakeRTTs = 2
+
+// PageLoad fetches one page on the given path and calls done with the
+// completion time. The main document loads first (connection 1); the
+// remaining objects are distributed over up to MaxConnections parallel
+// CUBIC connections, mirroring how a browser discovers subresources.
+type PageLoad struct {
+	sim     *sim.Sim
+	path    *netem.Path
+	page    PageSpec
+	started float64
+	done    func(plt float64)
+
+	queue      []int64
+	afterQueue []int64 // second discovery wave
+	active     int
+	nextConn   int
+	completed  int
+}
+
+// NewPageLoad creates (but does not start) a page load.
+func NewPageLoad(s *sim.Sim, path *netem.Path, page PageSpec, connBase int, done func(plt float64)) *PageLoad {
+	return &PageLoad{sim: s, path: path, page: page, done: done, nextConn: connBase}
+}
+
+// Start begins the fetch at the current simulation time. Real pages
+// load in dependency waves: the document reveals render-blocking
+// scripts and stylesheets, which in turn reveal images and other leaf
+// assets — so the subresources are fetched in two waves, each behind
+// fresh connections with handshake costs. This wave structure (not raw
+// byte count) is what makes real page loads span seconds.
+func (pl *PageLoad) Start() {
+	pl.started = pl.sim.Now()
+	rest := pl.page.Objects[1:]
+	wave1 := append([]int64(nil), rest[:len(rest)/3]...)
+	wave2 := append([]int64(nil), rest[len(rest)/3:]...)
+	// Main document first; wave 1 when it completes; wave 2 when wave 1
+	// drains.
+	pl.fetch(pl.page.Objects[0], func() {
+		pl.queue = wave1
+		pl.afterQueue = wave2
+		for pl.active < MaxConnections && len(pl.queue) > 0 {
+			pl.dispatch()
+		}
+	})
+}
+
+func (pl *PageLoad) dispatch() {
+	size := pl.queue[0]
+	pl.queue = pl.queue[1:]
+	pl.fetch(size, func() {
+		if len(pl.queue) == 0 && pl.active == 0 && len(pl.afterQueue) > 0 {
+			pl.queue = pl.afterQueue
+			pl.afterQueue = nil
+			for pl.active < MaxConnections && len(pl.queue) > 0 {
+				pl.dispatch()
+			}
+			return
+		}
+		if len(pl.queue) > 0 {
+			pl.dispatch()
+		}
+	})
+}
+
+func (pl *PageLoad) fetch(size int64, next func()) {
+	pl.active++
+	snd := transport.NewSender(pl.nextConn, pl.path, cubic.New())
+	pl.nextConn++
+	snd.Limit = size
+	snd.OnComplete = func(now float64) {
+		pl.active--
+		pl.completed++
+		if pl.completed == len(pl.page.Objects) {
+			if pl.done != nil {
+				pl.done(now - pl.started)
+			}
+			return
+		}
+		next()
+	}
+	handshake := HandshakeRTTs * pl.path.BaseRTT()
+	pl.sim.After(handshake, snd.Start)
+}

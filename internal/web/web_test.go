@@ -1,0 +1,125 @@
+package web
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pccproteus/internal/netem"
+	"pccproteus/internal/sim"
+)
+
+func testPath(s *sim.Sim) *netem.Path {
+	l := netem.NewLink(s, 100, 500000, 0.010)
+	return &netem.Path{Link: l, AckDelay: 0.010}
+}
+
+func TestRandomPageShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := RandomPage(rng)
+		if len(p.Objects) < 26 || len(p.Objects) > 71 {
+			t.Fatalf("object count %d out of range", len(p.Objects))
+		}
+		if tot := p.TotalBytes(); tot < 300_000 || tot > 12_000_000 {
+			t.Fatalf("page weight %d out of range", tot)
+		}
+		if p.Objects[0] < 50_000 {
+			t.Fatal("main document too small")
+		}
+	}
+}
+
+func TestPageLoadCompletes(t *testing.T) {
+	s := sim.New(1)
+	path := testPath(s)
+	page := RandomPage(s.Rand())
+	var plt float64
+	pl := NewPageLoad(s, path, page, 1, func(d float64) { plt = d })
+	pl.Start()
+	s.Run(60)
+	if plt == 0 {
+		t.Fatal("page never completed")
+	}
+	// A ~1–4 MB page on 100 Mbps / 20 ms should load within a couple of
+	// seconds (dominated by RTTs of the short flows).
+	if plt > 5 {
+		t.Fatalf("PLT %.2f s implausibly slow", plt)
+	}
+	// Lower bound: at least one RTT for the document plus one for the
+	// subresources.
+	if plt < 0.040 {
+		t.Fatalf("PLT %.3f s implausibly fast", plt)
+	}
+}
+
+func TestPageLoadRespectsConnectionLimit(t *testing.T) {
+	s := sim.New(2)
+	path := testPath(s)
+	page := PageSpec{Objects: make([]int64, 30)}
+	for i := range page.Objects {
+		page.Objects[i] = 50_000
+	}
+	pl := NewPageLoad(s, path, page, 1, nil)
+	pl.Start()
+	maxActive := 0
+	var tick func()
+	tick = func() {
+		if pl.active > maxActive {
+			maxActive = pl.active
+		}
+		if s.Now() < 20 {
+			s.After(0.005, tick)
+		}
+	}
+	s.After(0.005, tick)
+	s.Run(20)
+	if maxActive > MaxConnections {
+		t.Fatalf("active connections %d exceeded limit %d", maxActive, MaxConnections)
+	}
+	if pl.completed != len(page.Objects) {
+		t.Fatalf("completed %d of %d", pl.completed, len(page.Objects))
+	}
+}
+
+func TestPLTDegradesUnderLoss(t *testing.T) {
+	load := func(lossy bool) float64 {
+		s := sim.New(3)
+		path := testPath(s)
+		if lossy {
+			path.Link.LossProb = 0.05
+		}
+		page := PageSpec{Objects: []int64{200_000, 100_000, 100_000, 100_000}}
+		var plt float64
+		pl := NewPageLoad(s, path, page, 1, func(d float64) { plt = d })
+		pl.Start()
+		s.Run(120)
+		return plt
+	}
+	clean, lossy := load(false), load(true)
+	if clean == 0 || lossy == 0 {
+		t.Fatal("loads did not complete")
+	}
+	if lossy <= clean {
+		t.Fatalf("loss should slow the page: clean=%.3f lossy=%.3f", clean, lossy)
+	}
+}
+
+// Property: every random page eventually completes and the PLT is
+// positive.
+func TestQuickPageLoadAlwaysCompletes(t *testing.T) {
+	f := func(seed int64) bool {
+		s := sim.New(seed)
+		path := testPath(s)
+		page := RandomPage(s.Rand())
+		done := false
+		plt := 0.0
+		pl := NewPageLoad(s, path, page, 1, func(d float64) { done, plt = true, d })
+		pl.Start()
+		s.Run(120)
+		return done && plt > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
