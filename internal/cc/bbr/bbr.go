@@ -16,6 +16,7 @@ import (
 
 	"pccproteus/internal/netem"
 	"pccproteus/internal/stats"
+	"pccproteus/internal/trace"
 	"pccproteus/internal/transport"
 )
 
@@ -106,7 +107,14 @@ type Controller struct {
 	rttvar       float64 // smoothed RTT deviation, as the kernel computes it
 	started      bool
 	nowForRtprop float64 // latest ack time, for time-keyed filter expiry
+
+	tr trace.Tracer
 }
+
+// SetTracer implements transport.TraceAware: mode transitions are
+// emitted as ModeSwitch events (value = pacing gain), with the forced
+// BBR-S yield distinguished as "probe_rtt_yield".
+func (c *Controller) SetTracer(t trace.Tracer) { c.tr = t }
 
 // New returns a standard BBR controller.
 func New() *Controller {
@@ -272,6 +280,7 @@ func (c *Controller) step(now float64) {
 		if c.fullBWRounds >= 3 {
 			c.mode = modeDrain
 			c.pacingGain = drainGain
+			c.tr.ModeSwitch(now, "drain", c.pacingGain)
 		}
 	case modeDrain:
 		if float64(c.inflight) <= c.bdp() {
@@ -320,6 +329,7 @@ func (c *Controller) enterProbeBW(now float64) {
 	c.cycleIdx = 2 // skip the 1.25 phase right after drain
 	c.cycleStart = now
 	c.pacingGain = gainCycle[c.cycleIdx]
+	c.tr.ModeSwitch(now, "probe_bw", c.pacingGain)
 }
 
 func (c *Controller) enterProbeRTT(now float64, dur float64) {
@@ -329,6 +339,11 @@ func (c *Controller) enterProbeRTT(now float64, dur float64) {
 	}
 	c.probeRTTUntil = now + dur
 	c.pacingGain = 1.0
+	if c.forceYield {
+		c.tr.ModeSwitch(now, "probe_rtt_yield", c.pacingGain)
+	} else {
+		c.tr.ModeSwitch(now, "probe_rtt", c.pacingGain)
+	}
 }
 
 func (c *Controller) bdp() float64 {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"pccproteus/internal/stats"
+	"pccproteus/internal/trace"
 	"pccproteus/internal/transport"
 )
 
@@ -185,6 +186,10 @@ type Controller struct {
 	// and the diagnostics use.
 	Trace func(ev TraceEvent)
 
+	// tr is the flight-recorder handle, bound by the transport sender
+	// at Start (via transport.TraceAware); disabled by default.
+	tr trace.Tracer
+
 	stats Stats
 }
 
@@ -264,12 +269,17 @@ func (c *Controller) SetUtility(u UtilityFunc) {
 	c.stats.UtilitySwaps++
 }
 
+// SetTracer implements transport.TraceAware: the controller emits
+// MIDecision, UtilitySample, RateChange, and ModeSwitch events at its
+// decision points when a flight recorder is attached.
+func (c *Controller) SetTracer(t trace.Tracer) { c.tr = t }
+
 // OnAppPause implements transport.PauseAware: open MIs spanning an
 // application stall are discarded, their utility being meaningless.
-func (c *Controller) OnAppPause(float64) {
+func (c *Controller) OnAppPause(now float64) {
 	c.paused = true
 	c.stats.MIsDiscarded += c.mon.discardOpen()
-	c.abortDecisionState()
+	c.abortDecisionState(now)
 }
 
 // OnAppResume implements transport.PauseAware.
@@ -279,9 +289,9 @@ func (c *Controller) OnAppResume(float64) {
 }
 
 // abortDecisionState returns to probing from any half-made decision.
-func (c *Controller) abortDecisionState() {
+func (c *Controller) abortDecisionState(now float64) {
 	if c.state != stateStarting {
-		c.enterProbing()
+		c.enterProbing(now)
 	}
 }
 
@@ -299,9 +309,12 @@ func (c *Controller) OnSend(now float64, pkt *transport.SentPacket) {
 
 func (c *Controller) rollMI(now float64) {
 	if res, ok := c.mon.seal(now, c.util); ok {
-		c.handleResult(res)
+		c.handleResult(now, res)
 	}
 	if c.nextUtil != nil {
+		if c.tr.Enabled(trace.KindModeSwitch) {
+			c.tr.ModeSwitch(now, "utility:"+c.nextUtil.Name(), c.rate)
+		}
 		c.util = c.nextUtil
 		c.nextUtil = nil
 	}
@@ -333,7 +346,7 @@ func (c *Controller) srtt() float64 {
 func (c *Controller) OnAck(ack transport.Ack) {
 	res, done := c.mon.onAck(ack.Now, ack.MI, ack.SentAt, ack.RTT, c.util)
 	if done {
-		c.handleResult(res)
+		c.handleResult(ack.Now, res)
 	}
 }
 
@@ -341,7 +354,7 @@ func (c *Controller) OnAck(ack transport.Ack) {
 func (c *Controller) OnLoss(loss transport.Loss) {
 	res, done := c.mon.onLoss(loss.MI, c.util)
 	if done {
-		c.handleResult(res)
+		c.handleResult(loss.Now, res)
 	}
 }
 
@@ -368,13 +381,19 @@ func (c *Controller) CWnd() float64 {
 
 // --- decision logic ---
 
-func (c *Controller) handleResult(res miResult) {
+func (c *Controller) handleResult(now float64, res miResult) {
 	c.stats.MIsCompleted++
 	switch c.state {
 	case stateStarting:
-		c.handleStarting(res)
+		c.handleStarting(now, res)
 	case stateProbing:
-		c.handleProbing(res)
+		c.handleProbing(now, res)
+	}
+	c.tr.MIDecision(now, res.id, res.target, res.rate, res.utility, c.rate, c.state.String())
+	if c.tr.Enabled(trace.KindUtilitySample) {
+		c.tr.UtilitySample(now, res.id, res.utility,
+			res.metrics.RTTGradient, res.metrics.RTTDeviation, res.metrics.LossRate,
+			c.util.Name())
 	}
 	if c.Trace != nil {
 		c.Trace(TraceEvent{
@@ -390,7 +409,7 @@ func (c *Controller) handleResult(res miResult) {
 // probing. Because MI results lag the rate changes by roughly one RTT,
 // several MIs run at each rate; only the first result at the rate under
 // evaluation counts.
-func (c *Controller) handleStarting(res miResult) {
+func (c *Controller) handleStarting(now float64, res miResult) {
 	if res.target != c.startEvalRate {
 		return // stale result from before the last doubling
 	}
@@ -400,16 +419,22 @@ func (c *Controller) handleStarting(res miResult) {
 		c.startPrevRate = c.rate
 		c.rate = c.clampRate(c.rate * 2)
 		if c.rate > c.startPrevRate {
+			c.tr.RateChange(now, c.rate, c.startPrevRate, 0, 1, "double")
 			c.startEvalRate = c.rate
 			return
 		}
 		// Hit the rate cap: nothing left to double into.
 	}
+	prev := c.rate
 	c.rate = c.startPrevRate
-	c.enterProbing()
+	c.tr.RateChange(now, c.rate, prev, 0, 1, "fallback")
+	c.enterProbing(now)
 }
 
-func (c *Controller) enterProbing() {
+func (c *Controller) enterProbing(now float64) {
+	if c.state != stateProbing {
+		c.tr.ModeSwitch(now, "probing", c.rate)
+	}
 	c.state = stateProbing
 	c.clearProbes()
 	c.setupProbes()
@@ -439,7 +464,7 @@ func (c *Controller) setupProbes() {
 	}
 }
 
-func (c *Controller) handleProbing(res miResult) {
+func (c *Controller) handleProbing(now float64, res miResult) {
 	slot, ok := c.probeSlot[res.id]
 	if !ok {
 		return // a filler MI at the base rate while results trickle in
@@ -455,12 +480,12 @@ func (c *Controller) handleProbing(res miResult) {
 	if c.probeGot < 2*c.cfg.ProbePairs {
 		return
 	}
-	c.decideFromProbes()
+	c.decideFromProbes(now)
 }
 
 // decideFromProbes tallies the per-pair votes and either moves the rate
 // in the majority direction or re-probes on a tie.
-func (c *Controller) decideFromProbes() {
+func (c *Controller) decideFromProbes(now float64) {
 	votes := 0
 	var grads []float64
 	pairs := c.cfg.ProbePairs
@@ -514,7 +539,7 @@ func (c *Controller) decideFromProbes() {
 		}
 	}
 	if conclusive {
-		c.applyDecision(dir, grad)
+		c.applyDecision(now, dir, grad)
 		return
 	}
 	// Inconclusive: keep the rate and test the same pair of rates again
@@ -534,7 +559,7 @@ func (c *Controller) decideFromProbes() {
 // ω grows only while consecutive steps keep hitting it (Vivace's
 // confidence-amplified rate controller). The controller then immediately
 // probes again around the new rate.
-func (c *Controller) applyDecision(dir, grad float64) {
+func (c *Controller) applyDecision(now, dir, grad float64) {
 	if dir == c.dir {
 		if c.amp < c.cfg.AmpMax {
 			c.amp++
@@ -561,7 +586,13 @@ func (c *Controller) applyDecision(dir, grad float64) {
 	if min := c.cfg.MinRateMbps * c.cfg.Epsilon; step < min {
 		step = min
 	}
+	prev := c.rate
 	c.rate = c.clampRate(c.rate + dir*step)
+	if dir > 0 {
+		c.tr.RateChange(now, c.rate, prev, grad, c.amp, "up")
+	} else {
+		c.tr.RateChange(now, c.rate, prev, grad, c.amp, "down")
+	}
 	c.clearProbes()
 	c.setupProbes()
 }

@@ -97,7 +97,7 @@ func TestQuickRateStaysClamped(t *testing.T) {
 				utility: float64(u16),
 			}
 			c.mon.nextID++
-			c.handleResult(res)
+			c.handleResult(0, res)
 			if c.rate < c.cfg.MinRateMbps-1e-9 || c.rate > c.cfg.MaxRateMbps+1e-9 {
 				return false
 			}

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n got:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestTableWriteCSVGolden pins the table CSV format, including RFC-4180
+// quoting of row labels containing commas and quotes, and NaN cells.
+func TestTableWriteCSVGolden(t *testing.T) {
+	tbl := &Table{
+		Title:   "quoting test",
+		XLabel:  "config",
+		Columns: []string{"tput", "p95"},
+		Rows: []TableRow{
+			{XName: `buf="small", fast`, Cells: []float64{1.25, math.NaN()}},
+			{XName: "fixed:20", Cells: []float64{20, 0.0301}},
+			{X: 37.5, Cells: []float64{1.0 / 3.0, 2}},
+			{X: 0.001, Cells: []float64{-1.5e-7, 1e9}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "table.csv", buf.Bytes())
+}
+
+func TestWriteCDFCSVGolden(t *testing.T) {
+	series := []CDFSeries{
+		{Name: "bbr vs proteus-s", Values: []float64{0.9, 0.5, 1.0, 0.75}},
+		{Name: `odd,"name"`, Values: []float64{0.25}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCDFCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "cdf.csv", buf.Bytes())
+}
+
+func TestWriteTimelineCSVGolden(t *testing.T) {
+	series := []TimelineSeries{
+		{Name: "bbr", Mbps: []float64{48.2, 31.7, 0}},
+		{Name: "bbr-s", Mbps: []float64{0, 15.5, 46.333333}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTimelineCSV(&buf, "fig14, \"fast\"", series); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "timeline.csv", buf.Bytes())
+}

@@ -143,7 +143,14 @@ func BurstFor(proto string) int {
 // flow's throughput over [measureFrom, duration], returning results in
 // flow order. RTT samples are retained for every flow.
 func Run(seed int64, link LinkSpec, flows []FlowSpec, measureFrom, duration float64) []FlowResult {
+	return runTraced(nil, "", seed, link, flows, measureFrom, duration)
+}
+
+// runTraced is Run with an optional flight recorder: with tc enabled,
+// the run's per-flow event streams are written under scenario's name.
+func runTraced(tc *Tracing, scenario string, seed int64, link LinkSpec, flows []FlowSpec, measureFrom, duration float64) []FlowResult {
 	s := sim.New(seed)
+	flush := tc.attach(s, scenario, flows)
 	path := link.Build(s)
 	senders := make([]*transport.Sender, len(flows))
 	for i, f := range flows {
@@ -166,6 +173,7 @@ func Run(seed int64, link LinkSpec, flows []FlowSpec, measureFrom, duration floa
 		}
 	})
 	s.Run(duration)
+	flush()
 	out := make([]FlowResult, len(flows))
 	for i, snd := range senders {
 		out[i] = FlowResult{
@@ -180,6 +188,11 @@ func Run(seed int64, link LinkSpec, flows []FlowSpec, measureFrom, duration floa
 // RunSolo measures a single flow's throughput and RTT distribution.
 func RunSolo(seed int64, link LinkSpec, proto string, measureFrom, duration float64) FlowResult {
 	return Run(seed, link, []FlowSpec{{Proto: proto}}, measureFrom, duration)[0]
+}
+
+// soloTraced is RunSolo with an optional flight recorder.
+func soloTraced(tc *Tracing, scenario string, seed int64, link LinkSpec, proto string, measureFrom, duration float64) FlowResult {
+	return runTraced(tc, scenario, seed, link, []FlowSpec{{Proto: proto}}, measureFrom, duration)[0]
 }
 
 // meanOver runs fn for trials seeds and averages the results.

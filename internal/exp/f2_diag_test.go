@@ -13,7 +13,7 @@ func TestDiagFig2(t *testing.T) {
 		t.Skip("diag")
 	}
 	for _, rate := range []float64{0, 9} {
-		devs, grads := fig2Trial(1, rate, 120)
+		devs, grads := fig2Trial(nil, "", 1, rate, 120)
 		fmt.Printf("rate=%v n=%d dev p10=%.5f p50=%.5f p90=%.5f | grad p10=%.5f p50=%.5f p90=%.5f\n",
 			rate, len(devs),
 			stats.Percentile(devs, 10), stats.Percentile(devs, 50), stats.Percentile(devs, 90),

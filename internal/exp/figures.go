@@ -13,10 +13,13 @@ import (
 
 // Options tunes experiment size. The zero value gives paper-scale runs;
 // Fast selects reduced grids and durations for tests and benchmarks.
+// Trace, when non-nil, attaches a flight recorder to every simulation
+// and writes per-flow JSONL event files (see Tracing).
 type Options struct {
 	Trials   int
 	Duration float64
 	Fast     bool
+	Trace    *Tracing
 }
 
 func (o Options) withDefaults() Options {
@@ -82,7 +85,7 @@ func Fig2(o Options) Fig2Result {
 	}
 	var devSamples, gradSamples [][]float64
 	for _, rate := range res.ArrivalRates {
-		devs, grads := fig2Trial(1, rate, dur)
+		devs, grads := fig2Trial(o.Trace, fmt.Sprintf("fig2_rate%g", rate), 1, rate, dur)
 		devSamples = append(devSamples, devs)
 		gradSamples = append(gradSamples, grads)
 		dh := stats.NewHistogram(0, 0.0014, 28) // 0–1.4 ms as in Fig. 2(a)
@@ -101,8 +104,10 @@ func Fig2(o Options) Fig2Result {
 	return res
 }
 
-func fig2Trial(seed int64, flowsPerSec, dur float64) (devs, grads []float64) {
+func fig2Trial(tc *Tracing, scenario string, seed int64, flowsPerSec, dur float64) (devs, grads []float64) {
 	s := sim.New(seed)
+	flush := tc.attach(s, scenario, []FlowSpec{{Proto: "fixed:20"}})
+	defer flush()
 	// Mild ambient jitter mirrors the measurement noise visible in the
 	// paper's clean-case PDFs (their 0-flows curves are spread, not a
 	// spike at zero); without it both metrics trivially read zero on an
@@ -178,7 +183,8 @@ func Fig3(o Options, protocols []string) (throughput, inflation *Table) {
 		for _, proto := range protocols {
 			proto := proto
 			tput := meanOver(o.Trials, func(seed int64) float64 {
-				return RunSolo(seed, link, proto, o.Duration*0.2, o.Duration).Mbps
+				return soloTraced(o.Trace, fmt.Sprintf("fig3_buf%d_%s_s%d", buf, proto, seed),
+					seed, link, proto, o.Duration*0.2, o.Duration).Mbps
 			})
 			infl := meanOver(o.Trials, func(seed int64) float64 {
 				r := RunSolo(seed+100, link, proto, o.Duration*0.2, o.Duration)
@@ -216,7 +222,8 @@ func Fig4(o Options, protocols []string) *Table {
 		for _, proto := range protocols {
 			proto := proto
 			row.Cells = append(row.Cells, meanOver(o.Trials, func(seed int64) float64 {
-				return RunSolo(seed, link, proto, o.Duration*0.2, o.Duration).Mbps
+				return soloTraced(o.Trace, fmt.Sprintf("fig4_loss%g_%s_s%d", loss, proto, seed),
+					seed, link, proto, o.Duration*0.2, o.Duration).Mbps
 			}))
 		}
 		t.Rows = append(t.Rows, row)
@@ -254,7 +261,8 @@ func Fig5(o Options, protocols []string) *Table {
 					flows[i] = FlowSpec{Proto: proto, StartAt: float64(i) * 20}
 				}
 				lastStart := float64(n-1) * 20
-				res := Run(seed, link, flows, lastStart, lastStart+measure)
+				res := runTraced(o.Trace, fmt.Sprintf("fig5_n%d_%s_s%d", n, proto, seed),
+					seed, link, flows, lastStart, lastStart+measure)
 				tputs := make([]float64, n)
 				for i, r := range res {
 					tputs[i] = r.Mbps
@@ -303,7 +311,8 @@ func Fig6(o Options, scavengers []string) []Fig6Cell {
 			soloT := 0.0
 			soloRTT := 0.0
 			for tr := 0; tr < o.Trials; tr++ {
-				r := RunSolo(int64(tr+1), link, primary, measureFrom, dur)
+				r := soloTraced(o.Trace, fmt.Sprintf("fig6_buf%d_%s_solo_s%d", buf, primary, tr+1),
+					int64(tr+1), link, primary, measureFrom, dur)
 				soloT += r.Mbps
 				soloRTT += r.P95RTT()
 			}
@@ -312,7 +321,9 @@ func Fig6(o Options, scavengers []string) []Fig6Cell {
 			for _, scv := range scavengers {
 				var pT, sT, pRTT float64
 				for tr := 0; tr < o.Trials; tr++ {
-					res := Run(int64(tr+1), link,
+					res := runTraced(o.Trace,
+						fmt.Sprintf("fig6_buf%d_%s_vs_%s_s%d", buf, primary, scv, tr+1),
+						int64(tr+1), link,
 						[]FlowSpec{{Proto: primary}, {Proto: scv, StartAt: 20}},
 						measureFrom, dur)
 					pT += res[0].Mbps
@@ -403,7 +414,9 @@ func Fig8(o Options, primaries, scavengers []string) []CDFSeries {
 					link.BufBytes = 3 * netem.MTU
 				}
 				for _, primary := range primaries {
-					solo := RunSolo(seed, link, primary, measureFrom, dur).Mbps
+					solo := soloTraced(o.Trace,
+						fmt.Sprintf("fig8_bw%g_rtt%g_buf%g_%s_solo", bw, rtt*1000, bufBDP, primary),
+						seed, link, primary, measureFrom, dur).Mbps
 					if solo < 0.1 {
 						// A configuration the primary cannot use at all
 						// (e.g. a buffer below one packet train) says
@@ -411,7 +424,9 @@ func Fig8(o Options, primaries, scavengers []string) []CDFSeries {
 						continue
 					}
 					for _, scv := range scavengers {
-						res := Run(seed, link,
+						res := runTraced(o.Trace,
+							fmt.Sprintf("fig8_bw%g_rtt%g_buf%g_%s_vs_%s", bw, rtt*1000, bufBDP, primary, scv),
+							seed, link,
 							[]FlowSpec{{Proto: primary}, {Proto: scv, StartAt: 20}},
 							measureFrom, dur)
 						ratio := res[0].Mbps / solo
@@ -446,8 +461,9 @@ type TimelineSeries struct {
 }
 
 // timeline measures per-second throughput of every flow in a scenario.
-func timeline(seed int64, link LinkSpec, flows []FlowSpec, duration float64) []TimelineSeries {
+func timeline(tc *Tracing, scenario string, seed int64, link LinkSpec, flows []FlowSpec, duration float64) []TimelineSeries {
 	s := sim.New(seed)
+	flush := tc.attach(s, scenario, flows)
 	path := link.Build(s)
 	senders := make([]*transport.Sender, len(flows))
 	out := make([]TimelineSeries, len(flows))
@@ -475,6 +491,7 @@ func timeline(seed int64, link LinkSpec, flows []FlowSpec, duration float64) []T
 		})
 	}
 	s.Run(duration)
+	flush()
 	return out
 }
 
@@ -489,11 +506,11 @@ func Fig14(o Options) map[string][]TimelineSeries {
 	}
 	link := emulabLink(375000)
 	return map[string][]TimelineSeries{
-		"bbr_vs_bbrs": timeline(1, link, []FlowSpec{
+		"bbr_vs_bbrs": timeline(o.Trace, "fig14_bbr_vs_bbrs", 1, link, []FlowSpec{
 			{Proto: ProtoBBR}, {Proto: ProtoBBRS, StartAt: 10}}, dur),
-		"bbrs_vs_bbrs": timeline(2, link, []FlowSpec{
+		"bbrs_vs_bbrs": timeline(o.Trace, "fig14_bbrs_vs_bbrs", 2, link, []FlowSpec{
 			{Proto: ProtoBBRS}, {Proto: ProtoBBRS, StartAt: 10}}, dur),
-		"cubic_vs_bbrs": timeline(3, link, []FlowSpec{
+		"cubic_vs_bbrs": timeline(o.Trace, "fig14_cubic_vs_bbrs", 3, link, []FlowSpec{
 			{Proto: ProtoCubic}, {Proto: ProtoBBRS, StartAt: 10}}, dur),
 	}
 }
@@ -518,7 +535,7 @@ func Fig18(o Options, protocols []string) map[string][]TimelineSeries {
 		for j := range flows {
 			flows[j] = FlowSpec{Proto: proto, StartAt: float64(j) * gap}
 		}
-		out[proto] = timeline(int64(i+1), link, flows, dur)
+		out[proto] = timeline(o.Trace, "fig18_"+proto, int64(i+1), link, flows, dur)
 	}
 	return out
 }
@@ -547,7 +564,7 @@ func LTESolo(o Options, protocols []string) *Table {
 		proto := proto
 		var tput, rtt float64
 		for tr := 0; tr < o.Trials; tr++ {
-			tp, p95 := lteTrial(int64(tr+1), proto, dur)
+			tp, p95 := lteTrial(o.Trace, fmt.Sprintf("lte_%s_s%d", proto, tr+1), int64(tr+1), proto, dur)
 			tput += tp
 			rtt += p95
 		}
@@ -557,8 +574,10 @@ func LTESolo(o Options, protocols []string) *Table {
 	return t
 }
 
-func lteTrial(seed int64, proto string, dur float64) (mbps, p95 float64) {
+func lteTrial(tc *Tracing, scenario string, seed int64, proto string, dur float64) (mbps, p95 float64) {
 	s := sim.New(seed)
+	flush := tc.attach(s, scenario, []FlowSpec{{Proto: proto}})
+	defer flush()
 	link := LinkSpec{
 		Mbps: 50, RTT: 0.050, BufBytes: 600000,
 		Jitter: netem.LognormalNoise{Median: 0.002, Sigma: 0.8},

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"math/rand"
 
 	"pccproteus/internal/netem"
@@ -67,7 +68,8 @@ func Fig9(o Options, protocols []string) []CDFSeries {
 		tputs := make([]float64, len(protocols))
 		best := 0.0
 		for i, proto := range protocols {
-			r := RunSolo(int64(pi+1), prof.Link, proto, dur*0.25, dur)
+			r := soloTraced(o.Trace, fmt.Sprintf("fig9_p%d_%s", pi, proto),
+				int64(pi+1), prof.Link, proto, dur*0.25, dur)
 			tputs[i] = r.Mbps
 			if r.Mbps > best {
 				best = r.Mbps
@@ -106,11 +108,13 @@ func Fig10(o Options, primaries, scavengers []string) []CDFSeries {
 		for _, scv := range scavengers {
 			s := CDFSeries{Name: primary + " vs " + scv}
 			for pi, prof := range profiles {
-				solo := RunSolo(int64(pi+1), prof.Link, primary, measureFrom, dur).Mbps
+				solo := soloTraced(o.Trace, fmt.Sprintf("fig10_p%d_%s_solo", pi, primary),
+					int64(pi+1), prof.Link, primary, measureFrom, dur).Mbps
 				if solo == 0 {
 					continue
 				}
-				res := Run(int64(pi+1), prof.Link,
+				res := runTraced(o.Trace, fmt.Sprintf("fig10_p%d_%s_vs_%s", pi, primary, scv),
+					int64(pi+1), prof.Link,
 					[]FlowSpec{{Proto: primary}, {Proto: scv, StartAt: 10}},
 					measureFrom, dur)
 				ratio := res[0].Mbps / solo

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"pccproteus/internal/sim"
+	"pccproteus/internal/trace"
 )
 
 // MTU is the size in bytes of a full data packet on the wire. The paper's
@@ -133,14 +134,26 @@ func (l *Link) QueueDelay() float64 {
 // full. Otherwise deliver is invoked at the packet's arrival time unless
 // the packet falls to random loss, in which case it silently vanishes —
 // the sender must infer the loss, as on a real path.
+//
+// With a flight recorder attached to the simulation, the link emits a
+// PacketDrop event for every tail drop and random loss (into the
+// owning flow's ring) and a sampled QueueDepth event per enqueue (into
+// the link's own ring, flow 0).
 func (l *Link) Send(pkt *Packet, deliver func(p *Packet, arrival float64)) bool {
+	rec := l.Sim.Trace()
 	if l.queueBytes+pkt.Size > l.QueueCap {
 		l.stats.Dropped++
+		if rec.Enabled(trace.KindPacketDrop) {
+			rec.Tracer(pkt.FlowID).PacketDrop(l.Sim.Now(), pkt.Seq, pkt.Size, l.queueBytes, "taildrop")
+		}
 		return false
 	}
 	l.queueBytes += pkt.Size
 	l.stats.Enqueued++
 	now := l.Sim.Now()
+	if rec.Enabled(trace.KindQueueDepth) {
+		rec.Tracer(0).QueueDepth(now, l.queueBytes, l.QueueDelay(), l.Rate)
+	}
 	start := now
 	if l.busyUntil > start {
 		start = l.busyUntil
@@ -168,6 +181,9 @@ func (l *Link) Send(pkt *Packet, deliver func(p *Packet, arrival float64)) bool 
 	})
 	if lost {
 		l.stats.LostRandom++
+		if rec.Enabled(trace.KindPacketDrop) {
+			rec.Tracer(pkt.FlowID).PacketDrop(now, pkt.Seq, pkt.Size, l.queueBytes, "random")
+		}
 		return true
 	}
 	l.Sim.At(arrival, func() {

@@ -11,6 +11,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+
+	"pccproteus/internal/trace"
 )
 
 // Event is a scheduled callback. Events are ordered by time; ties break on
@@ -76,6 +78,7 @@ type Sim struct {
 	rng     *rand.Rand
 	running bool
 	stopped bool
+	rec     *trace.Recorder
 }
 
 // New returns a simulator with its clock at zero and randomness derived
@@ -91,6 +94,20 @@ func (s *Sim) Now() float64 { return s.now }
 // (loss, jitter, workload arrivals) must draw from it so runs stay
 // deterministic.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// SetTrace attaches a flight recorder. Components built on this
+// simulation (links, senders, controllers) pick it up through Trace
+// and FlowTracer; with no recorder attached they run at full speed
+// with zero telemetry overhead. Attach before starting flows: senders
+// bind their tracer at Start.
+func (s *Sim) SetTrace(r *trace.Recorder) { s.rec = r }
+
+// Trace returns the attached flight recorder, or nil when disabled.
+func (s *Sim) Trace() *trace.Recorder { return s.rec }
+
+// FlowTracer returns the per-flow emission handle for flow id
+// (trace.NopTracer when no recorder is attached).
+func (s *Sim) FlowTracer(flow int) trace.Tracer { return s.rec.Tracer(flow) }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it would silently corrupt causality.

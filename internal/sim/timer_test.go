@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := New(1)
+	fired := 0
+	tm := s.At(1, func() { fired++ })
+	s.Run(2)
+	if fired != 1 {
+		t.Fatalf("timer fired %d times, want 1", fired)
+	}
+	if tm.Stop() {
+		t.Error("Stop after fire reported the event as still pending")
+	}
+}
+
+func TestTimerDoubleStop(t *testing.T) {
+	s := New(1)
+	tm := s.At(1, func() { t.Error("stopped timer fired") })
+	if !tm.Stop() {
+		t.Error("first Stop reported false for a pending timer")
+	}
+	if tm.Stop() {
+		t.Error("second Stop reported true")
+	}
+	s.Run(2)
+	if got := s.Pending(); got != 0 {
+		t.Errorf("Pending after run = %d, want 0", got)
+	}
+}
+
+// A timer scheduled at the current instant from within an event can be
+// stopped before the loop reaches it: same timestamp, later sequence.
+func TestTimerStopAtCurrentInstant(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.At(1, func() {
+		tm := s.At(s.Now(), func() { ran = true })
+		if !tm.Stop() {
+			t.Error("Stop of a same-instant timer reported false")
+		}
+	})
+	s.Run(2)
+	if ran {
+		t.Error("same-instant timer ran despite Stop")
+	}
+}
+
+func TestTimerStopNil(t *testing.T) {
+	var tm *Timer
+	if tm.Stop() {
+		t.Error("Stop on nil Timer reported true")
+	}
+}

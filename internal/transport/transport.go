@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"pccproteus/internal/netem"
+	"pccproteus/internal/trace"
 )
 
 // SentPacket is the sender-side record of one transmitted packet. The
@@ -84,6 +85,13 @@ type Controller interface {
 type PauseAware interface {
 	OnAppPause(now float64)
 	OnAppResume(now float64)
+}
+
+// TraceAware is implemented by controllers that emit their own
+// flight-recorder events (MI decisions, rate changes, mode switches).
+// The sender hands each such controller its flow's tracer at Start.
+type TraceAware interface {
+	SetTracer(t trace.Tracer)
 }
 
 // RTTEstimator maintains RFC 6298 smoothed RTT state plus the lifetime
@@ -183,6 +191,7 @@ type Sender struct {
 	recvd    int64
 	maxAcked int64
 
+	tr         trace.Tracer
 	nextSend   float64
 	timerSet   bool
 	blocked    bool
@@ -208,6 +217,10 @@ func (s *Sender) Start() {
 	}
 	s.started = true
 	s.startTime = s.Path.Link.Sim.Now()
+	s.tr = s.Path.Link.Sim.FlowTracer(s.ID)
+	if ta, ok := s.CC.(TraceAware); ok {
+		ta.SetTracer(s.tr)
+	}
 	s.armRTO()
 	s.trySend()
 }
@@ -436,6 +449,7 @@ func (s *Sender) handleAck(p *netem.Packet, recvAt float64) {
 	}
 	rtt := now - sp.SentAt
 	s.rtt.Update(rtt)
+	s.tr.RTTSample(now, p.Seq, rtt, s.rtt.srtt, s.acked, s.inflight)
 	if s.RecordRTT {
 		s.rttSamples = append(s.rttSamples, rtt)
 	}
@@ -499,6 +513,7 @@ func (s *Sender) markLost(sp *SentPacket, now float64) {
 	sp.lost = true
 	s.inflight -= sp.Size
 	s.lostB += int64(sp.Size)
+	s.tr.PacketDrop(now, sp.Seq, sp.Size, s.Path.Link.QueueBytes(), "declared")
 	if s.Limit > 0 {
 		// Re-credit the bytes so replacements are transmitted.
 		s.launched -= int64(sp.Size)
