@@ -51,7 +51,34 @@ func main() {
 	traceEvents := flag.String("trace-events", "all", "comma-separated event kinds to trace (mi,rate,util,drop,queue,rtt,mode)")
 	traceCSV := flag.Bool("trace-csv", false, "also write traces as CSV beside each JSONL")
 	flag.StringVar(&csvDir, "csv", "", "also write plot-ready CSV files into this directory")
+	seed := flag.Int64("seed", 0, "master seed for all per-trial RNGs (0 = historical defaults)")
+	hunt := flag.String("hunt", "", "hunt for invariant violations of this controller instead of running figures")
+	huntBudget := flag.Int("hunt-budget", 200, "schedule evaluations to spend in a -hunt search")
+	huntOut := flag.String("hunt-out", "", "write the minimized counterexample JSON here (with -hunt)")
+	replay := flag.String("replay", "", "re-verify a counterexample replay file instead of running figures")
 	flag.Parse()
+
+	if *hunt != "" || *replay != "" {
+		var err error
+		if *replay != "" {
+			err = runReplay(os.Stdout, *replay)
+		} else {
+			huntSeed := *seed
+			if huntSeed == 0 {
+				huntSeed = 1
+			}
+			huntJobs := *jobs
+			if huntJobs <= 0 {
+				huntJobs = runtime.NumCPU()
+			}
+			err = runHunt(os.Stdout, *hunt, *huntBudget, huntSeed, huntJobs, *fast, *huntOut)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proteusbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "proteusbench: %v\n", err)
@@ -101,7 +128,7 @@ func main() {
 			defer func() { <-sem }()
 			r := results[i]
 			defer close(r.done)
-			o := exp.Options{Fast: *fast, Trials: *trials}
+			o := exp.Options{Fast: *fast, Trials: *trials, Seed: *seed}
 			var tc *exp.Tracing
 			if *traceDir != "" {
 				tc = &exp.Tracing{Dir: filepath.Join(*traceDir, figDirName(id)), Mask: mask, CSV: *traceCSV}

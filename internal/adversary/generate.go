@@ -1,0 +1,106 @@
+package adversary
+
+import "math/rand"
+
+// RandomSchedule draws a fresh attack schedule of 1–4 segments. All
+// randomness comes from rng, which the hunt seeds deterministically.
+func RandomSchedule(rng *rand.Rand, sc Scenario) Schedule {
+	n := 1 + rng.Intn(4)
+	s := Schedule{Segments: make([]Segment, 0, n)}
+	for i := 0; i < n; i++ {
+		s.Segments = append(s.Segments, randomSegment(rng, sc))
+	}
+	return s.Canonical(sc)
+}
+
+func randomSegment(rng *rand.Rand, sc Scenario) Segment {
+	span := sc.maxSegEnd() - sc.Warmup
+	g := Segment{
+		Kind: segmentKinds[rng.Intn(len(segmentKinds))],
+		At:   sc.Warmup + rng.Float64()*span,
+	}
+	switch g.Kind {
+	case KindBWStep:
+		g.Dur = uniform(rng, minSegDur, maxSegDur)
+		g.Factor = uniform(rng, minBWFactor, maxBWFactor)
+	case KindBWOsc:
+		g.Dur = uniform(rng, minSegDur, maxSegDur)
+		g.Factor = uniform(rng, minBWFactor, 1)
+		g.Value = uniform(rng, minOscPeriod, maxOscPeriod)
+	case KindDelaySpike:
+		g.Dur = uniform(rng, minSegDur, maxSegDur)
+		g.Value = uniform(rng, minDelaySpike, maxDelaySpike)
+	case KindLossBurst:
+		g.Dur = uniform(rng, minSegDur, maxSegDur)
+		g.Value = uniform(rng, minLossBurst, maxLossBurst)
+	case KindQueueResize:
+		g.Dur = uniform(rng, minSegDur, maxSegDur)
+		g.Factor = uniform(rng, minQueueFactor, maxQueueFactor)
+	case KindFlow:
+		g.Dur = uniform(rng, minFlowDur, maxFlowDur)
+		g.Proto = CompetitorProtos[rng.Intn(len(CompetitorProtos))]
+	}
+	return g
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+
+// Mutate derives a neighbor of s: add a segment, drop one, or perturb
+// one segment's timing or magnitude. The result is canonicalized, so
+// mutation can never leave the legal envelope.
+func Mutate(rng *rand.Rand, sc Scenario, s Schedule) Schedule {
+	out := s.clone()
+	switch {
+	case len(out.Segments) == 0 || (len(out.Segments) < 5 && rng.Float64() < 0.25):
+		out.Segments = append(out.Segments, randomSegment(rng, sc))
+	case len(out.Segments) > 1 && rng.Float64() < 0.15:
+		i := rng.Intn(len(out.Segments))
+		out.Segments = append(out.Segments[:i], out.Segments[i+1:]...)
+	default:
+		i := rng.Intn(len(out.Segments))
+		out.Segments[i] = perturbSegment(rng, out.Segments[i])
+	}
+	return out.Canonical(sc)
+}
+
+// perturbSegment jitters one field of a segment: its start, duration,
+// or magnitude (lognormal multiplicative steps, gaussian time shifts).
+func perturbSegment(rng *rand.Rand, g Segment) Segment {
+	switch rng.Intn(4) {
+	case 0:
+		g.At += rng.NormFloat64() * 5
+	case 1:
+		g.Dur *= logStep(rng, 0.4)
+	case 2:
+		if g.Kind == KindFlow {
+			g.Proto = CompetitorProtos[rng.Intn(len(CompetitorProtos))]
+		} else if g.Factor != 0 {
+			g.Factor *= logStep(rng, 0.3)
+		} else {
+			g.Value *= logStep(rng, 0.3)
+		}
+	default:
+		if g.Value != 0 {
+			g.Value *= logStep(rng, 0.3)
+		} else if g.Factor != 0 {
+			g.Factor *= logStep(rng, 0.3)
+		} else {
+			g.At += rng.NormFloat64() * 5
+		}
+	}
+	return g
+}
+
+// logStep draws a multiplicative step e^{N(0,σ²)}.
+func logStep(rng *rand.Rand, sigma float64) float64 {
+	x := rng.NormFloat64() * sigma
+	// Avoid math.Exp just for a jitter: 2nd-order expansion is plenty
+	// and keeps the step bounded for extreme draws.
+	if x > 1.5 {
+		x = 1.5
+	}
+	if x < -1.5 {
+		x = -1.5
+	}
+	return 1 + x + x*x/2
+}

@@ -1,0 +1,84 @@
+package adversary
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// CounterexampleVersion tags the replay-file format. Bump it when the
+// schedule schema or an invariant tunable changes semantics, so stale
+// golden files fail loudly instead of re-verifying the wrong thing.
+const CounterexampleVersion = 1
+
+// Counterexample is a minimized failing schedule plus everything
+// needed to reproduce its verdict: the scenario, the run seed, and the
+// verdict the hunt recorded. It serializes to a small JSON replay file.
+type Counterexample struct {
+	Version  int      `json:"version"`
+	Scenario Scenario `json:"scenario"`
+	Seed     int64    `json:"seed"`
+	Schedule Schedule `json:"schedule"`
+	Verdict  Verdict  `json:"verdict"`
+	Fitness  float64  `json:"fitness"`
+	Note     string   `json:"note,omitempty"`
+}
+
+// WriteFile serializes the counterexample as indented JSON.
+func (ce *Counterexample) WriteFile(path string) error {
+	b, err := json.MarshalIndent(ce, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadCounterexample loads and validates a replay file.
+func ReadCounterexample(path string) (*Counterexample, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ce Counterexample
+	if err := json.Unmarshal(b, &ce); err != nil {
+		return nil, fmt.Errorf("adversary: parsing %s: %w", path, err)
+	}
+	if ce.Version != CounterexampleVersion {
+		return nil, fmt.Errorf("adversary: %s is replay-format v%d, this build expects v%d",
+			path, ce.Version, CounterexampleVersion)
+	}
+	if err := ce.Scenario.Validate(); err != nil {
+		return nil, err
+	}
+	return &ce, nil
+}
+
+// Replay re-runs the counterexample from scratch — fresh baseline,
+// fresh perturbed run, full invariant sweep — and returns the
+// verdicts. Callers compare against ce.Verdict to confirm the file
+// still reproduces.
+func (ce *Counterexample) Replay() ([]Verdict, *RunContext) {
+	rc := Run(ce.Scenario, ce.Schedule, ce.Seed)
+	rc.Baseline = NewBaseline(ce.Scenario, ce.Seed)
+	return CheckAll(rc), rc
+}
+
+// ReplayFile loads a replay file, re-runs it, and reports whether the
+// recorded verdict still reproduces (same invariant, still violated).
+func ReplayFile(path string) (*Counterexample, []Verdict, error) {
+	ce, err := ReadCounterexample(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	vs, _ := ce.Replay()
+	got := findVerdict(vs, ce.Verdict.Invariant)
+	if got.Invariant == "" {
+		return ce, vs, fmt.Errorf("adversary: invariant %q not in checker set for %s",
+			ce.Verdict.Invariant, ce.Scenario.Proto)
+	}
+	if got.Violated() != ce.Verdict.Violated() {
+		return ce, vs, fmt.Errorf("adversary: %s no longer reproduces: recorded %s, replay %s",
+			path, ce.Verdict, got)
+	}
+	return ce, vs, nil
+}

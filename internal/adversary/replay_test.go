@@ -1,0 +1,80 @@
+package adversary
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenCorpusReplays re-runs every checked-in counterexample and
+// verifies the recorded verdict still reproduces: same invariant, still
+// violated, margin unchanged to floating-point noise. A failure here
+// means a controller, the emulation, or an invariant tunable changed
+// behavior — either fix the regression or re-hunt and re-record the
+// corpus (and bump CounterexampleVersion if the contract moved).
+func TestGoldenCorpusReplays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus replay re-runs full simulations")
+	}
+	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no golden counterexamples in testdata/")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			t.Parallel()
+			ce, vs, err := ReplayFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := findVerdict(vs, ce.Verdict.Invariant)
+			if !got.Violated() {
+				t.Fatalf("recorded violation of %q no longer reproduces: %s", ce.Verdict.Invariant, got)
+			}
+			if math.Abs(got.Margin-ce.Verdict.Margin) > 1e-9 {
+				t.Fatalf("margin drifted: recorded %v, replayed %v", ce.Verdict.Margin, got.Margin)
+			}
+		})
+	}
+}
+
+func TestCounterexampleRoundTrip(t *testing.T) {
+	ce := &Counterexample{
+		Version:  CounterexampleVersion,
+		Scenario: testScenario("cubic"),
+		Seed:     3,
+		Schedule: Schedule{Segments: []Segment{{Kind: KindDelaySpike, At: 10, Dur: 4, Value: 0.25}}},
+		Verdict:  Verdict{Invariant: "progress", Margin: -0.5, Detail: "x"},
+		Fitness:  -0.5,
+	}
+	path := filepath.Join(t.TempDir(), "ce.json")
+	if err := ce.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCounterexample(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != ce.Seed || !schedulesEqual(back.Schedule, ce.Schedule) || back.Verdict != ce.Verdict {
+		t.Fatalf("round trip mangled the counterexample: %+v vs %+v", back, ce)
+	}
+}
+
+func TestReadCounterexampleRejectsWrongVersion(t *testing.T) {
+	ce := &Counterexample{
+		Version:  CounterexampleVersion + 1,
+		Scenario: testScenario("cubic"),
+		Seed:     1,
+	}
+	path := filepath.Join(t.TempDir(), "ce.json")
+	if err := ce.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCounterexample(path); err == nil {
+		t.Fatal("wrong-version replay file accepted")
+	}
+}

@@ -1,0 +1,212 @@
+package adversary
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testScenario is a small hunting ground for unit tests: short enough
+// that an evaluation is cheap, long enough that every window the
+// invariants need still exists (maxSegEnd = 15 > warmup 10).
+func testScenario(proto string) Scenario {
+	return Scenario{
+		Proto:    proto,
+		LinkMbps: 40,
+		RTT:      0.040,
+		BufBytes: 300000,
+		Duration: 45,
+		Warmup:   10,
+	}
+}
+
+func TestCanonicalClampsAndSorts(t *testing.T) {
+	sc := testScenario("cubic")
+	s := Schedule{Segments: []Segment{
+		{Kind: KindLossBurst, At: 100, Dur: 50, Value: 3},     // past the end, loss over cap
+		{Kind: KindBWStep, At: -5, Dur: 1e6, Factor: 9},       // before warmup, absurd factor
+		{Kind: KindDelaySpike, At: 12, Dur: 2, Value: 0.0001}, // below min spike
+		{Kind: KindBWStep, At: 11, Dur: 0.1, Factor: 0.5},     // below min duration
+	}}
+	c := s.Canonical(sc)
+	maxEnd := sc.maxSegEnd()
+	for i, g := range c.Segments {
+		if g.At < sc.Warmup-1e-9 {
+			t.Errorf("segment %d starts before warmup: %+v", i, g)
+		}
+		if g.end() > maxEnd+1e-9 {
+			t.Errorf("segment %d ends after maxSegEnd %.3f: %+v", i, maxEnd, g)
+		}
+		if g.Dur < minSegDur-1e-9 {
+			t.Errorf("segment %d shorter than minSegDur: %+v", i, g)
+		}
+		if i > 0 && c.Segments[i-1].At > g.At {
+			t.Errorf("segments not sorted by At: %v", c.Segments)
+		}
+		if g.Kind == KindLossBurst && g.Value > capLossProb {
+			t.Errorf("loss burst above cap: %+v", g)
+		}
+		if g.Kind == KindBWStep && (g.Factor < minBWFactor || g.Factor > maxBWFactor) {
+			t.Errorf("bw factor outside bounds: %+v", g)
+		}
+	}
+	// Canonical is idempotent.
+	if !schedulesEqual(c, c.Canonical(sc)) {
+		t.Fatalf("Canonical not idempotent: %v vs %v", c, c.Canonical(sc))
+	}
+}
+
+func TestEnvFunctionsComposeAndFloor(t *testing.T) {
+	sc := testScenario("cubic")
+	s := Schedule{Segments: []Segment{
+		{Kind: KindBWStep, At: 10, Dur: 5, Factor: 0.5},
+		{Kind: KindBWStep, At: 12, Dur: 5, Factor: 0.1},
+		{Kind: KindLossBurst, At: 11, Dur: 2, Value: 0.1},
+		{Kind: KindLossBurst, At: 12, Dur: 2, Value: 0.3},
+		{Kind: KindDelaySpike, At: 10, Dur: 3, Value: 0.1},
+		{Kind: KindQueueResize, At: 10, Dur: 5, Factor: 0.001},
+	}}.Canonical(sc)
+
+	if got := s.RateAt(sc, 9); got != sc.LinkMbps {
+		t.Fatalf("RateAt before any segment = %v", got)
+	}
+	// Overlapping bw steps multiply, flooring at floorLinkMbps.
+	want := math.Max(sc.LinkMbps*0.5*0.1, floorLinkMbps)
+	if got := s.RateAt(sc, 13); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("RateAt(13) = %v, want %v", got, want)
+	}
+	// Overlapping loss bursts take the max, not the sum.
+	if got := s.LossAt(12.5); got != 0.3 {
+		t.Fatalf("LossAt(12.5) = %v, want 0.3", got)
+	}
+	if got := s.LossAt(9); got != 0 {
+		t.Fatalf("LossAt(9) = %v, want 0", got)
+	}
+	// Delay adds on top of base one-way propagation.
+	if got := s.DelayAt(sc, 11); math.Abs(got-(sc.RTT/2+0.1)) > 1e-9 {
+		t.Fatalf("DelayAt(11) = %v", got)
+	}
+	// Queue floor holds.
+	if got := s.QueueCapAt(sc, 12); got < floorQueueBytes {
+		t.Fatalf("QueueCapAt(12) = %d below floor", got)
+	}
+}
+
+func TestRandomAndMutatedSchedulesStayLegal(t *testing.T) {
+	sc := testScenario("proteus-s")
+	rng := rand.New(rand.NewSource(42))
+	s := RandomSchedule(rng, sc)
+	for iter := 0; iter < 500; iter++ {
+		s = Mutate(rng, sc, s)
+		if len(s.Segments) == 0 || len(s.Segments) > 5 {
+			t.Fatalf("iter %d: %d segments", iter, len(s.Segments))
+		}
+		for _, g := range s.Segments {
+			if g.At < sc.Warmup-1e-9 || g.end() > sc.maxSegEnd()+1e-9 {
+				t.Fatalf("iter %d: segment outside window: %+v", iter, g)
+			}
+			if g.Kind == KindFlow && g.Proto == "" {
+				t.Fatalf("iter %d: flow segment without proto", iter)
+			}
+			if round3(g.At) != g.At || round3(g.Dur) != g.Dur {
+				t.Fatalf("iter %d: unquantized segment: %+v", iter, g)
+			}
+		}
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	sc := testScenario("proteus-s")
+	s := Schedule{Segments: []Segment{
+		{Kind: KindBWStep, At: 11, Dur: 4, Factor: 0.3},
+		{Kind: KindFlow, At: 10, Dur: 30, Proto: "cubic"},
+	}}
+	a := Run(sc, s, 7)
+	b := Run(sc, s, 7)
+	if len(a.TargetMbps) != len(b.TargetMbps) {
+		t.Fatalf("timeline lengths differ: %d vs %d", len(a.TargetMbps), len(b.TargetMbps))
+	}
+	for i := range a.TargetMbps {
+		if a.TargetMbps[i] != b.TargetMbps[i] || a.PacingMbps[i] != b.PacingMbps[i] {
+			t.Fatalf("second %d differs between identical runs", i)
+		}
+	}
+	if a.Acked != b.Acked || a.LinkStats != b.LinkStats {
+		t.Fatalf("aggregate state differs: %+v vs %+v", a.LinkStats, b.LinkStats)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	// The competing flow must actually have moved traffic while alive.
+	// Canonical clamps the flow segment to end by maxSegEnd (t=15 in
+	// this scenario), and the overlapping bw step throttles it hard, so
+	// just demand a real peak rather than a sustained mean.
+	peak := 0.0
+	for _, v := range a.CompMbps {
+		peak = math.Max(peak, v)
+	}
+	if peak < 1 {
+		t.Fatalf("competitor barely ran: %v", a.CompMbps)
+	}
+}
+
+func TestPerturbationActuallyPerturbs(t *testing.T) {
+	sc := testScenario("cubic")
+	clean := Run(sc, Schedule{}, 3)
+	cut := Run(sc, Schedule{Segments: []Segment{
+		{Kind: KindBWStep, At: 10, Dur: 5, Factor: 0.1},
+	}}, 3)
+	cleanT := meanOver(clean.TargetMbps, 10, 15)
+	cutT := meanOver(cut.TargetMbps, 10, 15)
+	if cutT > cleanT*0.5 {
+		t.Fatalf("90%% bandwidth cut barely moved throughput: clean %.2f vs cut %.2f", cleanT, cutT)
+	}
+	// And after the cut, capacity is restored: the same pure function
+	// the checkers use says so.
+	if got := cut.Schedule.RateAt(sc, 20); got != sc.LinkMbps {
+		t.Fatalf("RateAt after segment = %v", got)
+	}
+}
+
+func TestCheckersCleanRunHolds(t *testing.T) {
+	for _, proto := range []string{"cubic", "proteus-s", "proteus-p", "proteus-h"} {
+		sc := testScenario(proto)
+		rc := Run(sc, Schedule{}, 1)
+		rc.Baseline = NewBaseline(sc, 1)
+		for _, v := range CheckAll(rc) {
+			if v.Violated() {
+				t.Errorf("%s: clean run violates %s", proto, v)
+			}
+		}
+	}
+}
+
+func TestFiniteCheckerCatchesPoison(t *testing.T) {
+	sc := testScenario("cubic")
+	rc := Run(sc, Schedule{}, 1)
+	rc.PacingMbps[5] = math.NaN()
+	if v := (finiteChecker{}).Check(rc); !v.Violated() {
+		t.Fatalf("NaN pacing not flagged: %s", v)
+	}
+	rc2 := Run(sc, Schedule{}, 1)
+	rc2.CWnd[3] = -1
+	if v := (finiteChecker{}).Check(rc2); !v.Violated() {
+		t.Fatalf("negative cwnd not flagged: %s", v)
+	}
+	rc3 := Run(sc, Schedule{}, 1)
+	if v := (finiteChecker{}).Check(rc3); v.Violated() {
+		t.Fatalf("clean run flagged: %s", v)
+	}
+}
+
+func TestValidateRejectsBadScenarios(t *testing.T) {
+	if err := (Scenario{Proto: "no-such-cc", LinkMbps: 40, RTT: 0.04, BufBytes: 1000, Duration: 90, Warmup: 20}).Validate(); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if err := (Scenario{Proto: "cubic", LinkMbps: 40, RTT: 0.04, BufBytes: 1000, Duration: 35, Warmup: 20}).Validate(); err == nil {
+		t.Fatal("no-room-for-segments scenario accepted")
+	}
+	if err := DefaultScenario("cubic", true).Validate(); err != nil {
+		t.Fatalf("default fast scenario rejected: %v", err)
+	}
+}

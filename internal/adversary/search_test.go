@@ -1,0 +1,79 @@
+package adversary
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestHuntDeterministic runs the same small hunt twice — including the
+// shrinking phase — and demands identical logs, schedules, and
+// verdicts. This is the package-level form of the CLI's byte-identical
+// guarantee.
+func TestHuntDeterministic(t *testing.T) {
+	cfg := Config{Scenario: testScenario("proteus-s"), Budget: 8, Seed: 5, Jobs: 1}
+	a, err := Hunt(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Jobs = 4 // worker count must not change the outcome
+	b, err := Hunt(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Log, b.Log) {
+		t.Fatalf("logs differ:\n%v\n%v", a.Log, b.Log)
+	}
+	if !schedulesEqual(a.Best, b.Best) || a.BestFitness != b.BestFitness {
+		t.Fatalf("best schedules differ: %v (%v) vs %v (%v)", a.Best, a.BestFitness, b.Best, b.BestFitness)
+	}
+	if (a.Counterexample == nil) != (b.Counterexample == nil) {
+		t.Fatalf("one run found a counterexample, the other did not")
+	}
+	if a.Counterexample != nil && !reflect.DeepEqual(a.Counterexample, b.Counterexample) {
+		t.Fatalf("counterexamples differ:\n%+v\n%+v", a.Counterexample, b.Counterexample)
+	}
+}
+
+// TestShrinkPreservesViolation drives the shrinker on a hand-built
+// violating schedule and checks the minimized result still violates the
+// same invariant and is no larger than the input.
+func TestShrinkPreservesViolation(t *testing.T) {
+	sc := testScenario("cubic")
+	ev := &evaluator{sc: sc, seed: 1, baseline: NewBaseline(sc, 1), jobs: 1}
+	// A fat schedule: a real stall-inducing delay spike buried among
+	// irrelevant segments.
+	fat := Schedule{Segments: []Segment{
+		{Kind: KindQueueResize, At: 10, Dur: 2, Factor: 2},
+		{Kind: KindDelaySpike, At: 10, Dur: 5, Value: 0.3},
+		{Kind: KindLossBurst, At: 13, Dur: 1, Value: 0.05},
+	}}.Canonical(sc)
+	full := ev.evalOne(fat)
+	target := worstName(full.verdicts)
+	if !findVerdict(full.verdicts, target).Violated() {
+		t.Skipf("fat schedule does not violate on this scenario (fitness %v) — shrink test needs a violation", full.fitness)
+	}
+	small, used := Shrink(ev, fat, target, 60)
+	if used > 60 {
+		t.Fatalf("shrinker overspent: %d evals", used)
+	}
+	if len(small.Segments) > len(fat.Segments) {
+		t.Fatalf("shrinker grew the schedule: %v", small)
+	}
+	if !findVerdict(ev.evalOne(small).verdicts, target).Violated() {
+		t.Fatalf("minimized schedule no longer violates %s: %v", target, small)
+	}
+}
+
+func TestMutateNeverAliasesInput(t *testing.T) {
+	sc := testScenario("cubic")
+	rng := rand.New(rand.NewSource(9))
+	orig := RandomSchedule(rng, sc)
+	snapshot := orig.clone()
+	for i := 0; i < 100; i++ {
+		Mutate(rng, sc, orig)
+	}
+	if !schedulesEqual(orig, snapshot) {
+		t.Fatalf("Mutate modified its input: %v vs %v", orig, snapshot)
+	}
+}

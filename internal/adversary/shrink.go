@@ -1,0 +1,123 @@
+package adversary
+
+// Shrink minimizes a violating schedule: it greedily seeks the
+// shortest prefix and the fewest, shortest, mildest segments that
+// still violate the target invariant, re-evaluating each candidate
+// reduction. The loop is deterministic and spends at most budget
+// evaluations; it returns the reduced schedule and the evaluations
+// used.
+//
+// Every accepted step keeps the target invariant violated, so the
+// result reproduces the original verdict by construction.
+func Shrink(ev *evaluator, s Schedule, target string, budget int) (Schedule, int) {
+	used := 0
+	violates := func(c Schedule) bool {
+		if used >= budget {
+			return false
+		}
+		used++
+		e := ev.evalOne(c)
+		return findVerdict(e.verdicts, target).Violated()
+	}
+	cur := s.Canonical(ev.sc)
+
+	// Pass 1: shortest reproducing prefix (segments are in start-time
+	// order after canonicalization).
+	for k := 1; k < len(cur.Segments); k++ {
+		c := Schedule{Segments: append([]Segment(nil), cur.Segments[:k]...)}
+		if violates(c) {
+			cur = c
+			break
+		}
+	}
+
+	// Passes 2..n: iterate reductions to a fixpoint.
+	for changed := true; changed && used < budget; {
+		changed = false
+
+		// Drop whole segments, last first.
+		for i := len(cur.Segments) - 1; i >= 0 && len(cur.Segments) > 1; i-- {
+			c := cur.clone()
+			c.Segments = append(c.Segments[:i], c.Segments[i+1:]...)
+			if violates(c) {
+				cur = c
+				changed = true
+			}
+		}
+
+		// Halve durations.
+		for i := range cur.Segments {
+			c := cur.clone()
+			c.Segments[i].Dur = round3(c.Segments[i].Dur / 2)
+			c = c.Canonical(ev.sc)
+			if scheduleShorter(c, cur) && violates(c) {
+				cur = c
+				changed = true
+			}
+		}
+
+		// Soften magnitudes toward neutral: factors toward 1, values
+		// toward their minimum.
+		for i := range cur.Segments {
+			g := cur.Segments[i]
+			c := cur.clone()
+			switch {
+			case g.Kind == KindBWStep || g.Kind == KindBWOsc || g.Kind == KindQueueResize:
+				c.Segments[i].Factor = round3(1 + (g.Factor-1)/2)
+			case g.Kind == KindDelaySpike || g.Kind == KindLossBurst:
+				c.Segments[i].Value = round3(g.Value / 2)
+			default:
+				continue
+			}
+			c = c.Canonical(ev.sc)
+			if !schedulesEqual(c, cur) && violates(c) {
+				cur = c
+				changed = true
+			}
+		}
+
+		// Pull segments earlier, toward the warmup boundary: a failure
+		// that reproduces earlier is a shorter repro in time.
+		for i := range cur.Segments {
+			g := cur.Segments[i]
+			at := round3(g.At - (g.At-ev.sc.Warmup)/2)
+			if at >= g.At {
+				continue
+			}
+			c := cur.clone()
+			c.Segments[i].At = at
+			c = c.Canonical(ev.sc)
+			if violates(c) {
+				cur = c
+				changed = true
+			}
+		}
+	}
+	return cur, used
+}
+
+// scheduleShorter reports whether a is a strict reduction of b in
+// total active time (guards against no-op halvings at the clamp
+// floor).
+func scheduleShorter(a, b Schedule) bool {
+	ta, tb := 0.0, 0.0
+	for _, g := range a.Segments {
+		ta += g.Dur
+	}
+	for _, g := range b.Segments {
+		tb += g.Dur
+	}
+	return ta < tb
+}
+
+func schedulesEqual(a, b Schedule) bool {
+	if len(a.Segments) != len(b.Segments) {
+		return false
+	}
+	for i := range a.Segments {
+		if a.Segments[i] != b.Segments[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -49,7 +49,7 @@ func Ablation(o Options) []AblationResult {
 	for _, v := range AblationVariants() {
 		res := AblationResult{Variant: v.Name}
 
-		res.CleanSoloMbps = meanOver(o.Trials, func(seed int64) float64 {
+		res.CleanSoloMbps = meanOver(o, func(seed int64) float64 {
 			return ablationSolo(seed, v, emulabLink(375000), dur)
 		})
 
@@ -58,11 +58,11 @@ func Ablation(o Options) []AblationResult {
 			Base:      netem.LognormalNoise{Median: 0.001, Sigma: 0.8},
 			SpikeProb: 0.001, SpikeMin: 0.01, SpikeMax: 0.03,
 		}
-		res.NoisySoloMbps = meanOver(o.Trials, func(seed int64) float64 {
+		res.NoisySoloMbps = meanOver(o, func(seed int64) float64 {
 			return ablationSolo(seed, v, noisy, dur)
 		})
 
-		res.YieldRatio = meanOver(o.Trials, func(seed int64) float64 {
+		res.YieldRatio = meanOver(o, func(seed int64) float64 {
 			return ablationYield(seed, v, emulabLink(375000), dur+80)
 		})
 		out = append(out, res)

@@ -45,7 +45,7 @@ func Fig11Video(o Options) *Table {
 		for _, bg := range Fig11Background {
 			bg := bg
 			n := n
-			avg := meanOver(o.Trials, func(seed int64) float64 {
+			avg := meanOver(o, func(seed int64) float64 {
 				return fig11VideoTrial(seed, n, bg, dur)
 			})
 			row.Cells = append(row.Cells, avg)
@@ -92,7 +92,7 @@ func Fig11Web(o Options) []CDFSeries {
 	for _, bg := range Fig11Background {
 		se := CDFSeries{Name: "bg=" + bg}
 		for tr := 0; tr < o.Trials; tr++ {
-			se.Values = append(se.Values, fig11WebTrial(int64(tr+1), bg, dur)...)
+			se.Values = append(se.Values, fig11WebTrial(o.seedFor(int64(tr+1)), bg, dur)...)
 		}
 		out = append(out, se)
 	}
@@ -159,7 +159,7 @@ func Fig12(o Options, forceMax bool) []Fig12Result {
 			mode := mode
 			var b4, b1080, r4, r1080 float64
 			for tr := 0; tr < o.Trials; tr++ {
-				m4, m1080 := fig12Trial(int64(tr+1), bw, mode, forceMax, dur)
+				m4, m1080 := fig12Trial(o.seedFor(int64(tr+1)), bw, mode, forceMax, dur)
 				b4 += m4.AvgBitrate()
 				r4 += m4.RebufferRatio()
 				b1080 += m1080.AvgBitrate()

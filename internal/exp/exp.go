@@ -195,13 +195,14 @@ func soloTraced(tc *Tracing, scenario string, seed int64, link LinkSpec, proto s
 	return runTraced(tc, scenario, seed, link, []FlowSpec{{Proto: proto}}, measureFrom, duration)[0]
 }
 
-// meanOver runs fn for trials seeds and averages the results.
-func meanOver(trials int, fn func(seed int64) float64) float64 {
+// meanOver runs fn once per trial, deriving each trial's seed from the
+// options, and averages the results.
+func meanOver(o Options, fn func(seed int64) float64) float64 {
 	sum := 0.0
-	for t := 0; t < trials; t++ {
-		sum += fn(int64(t + 1))
+	for t := 0; t < o.Trials; t++ {
+		sum += fn(o.seedFor(int64(t + 1)))
 	}
-	return sum / float64(trials)
+	return sum / float64(o.Trials)
 }
 
 // Table is a generic labeled result grid: one row per X value, one

@@ -20,6 +20,33 @@ type Options struct {
 	Duration float64
 	Fast     bool
 	Trace    *Tracing
+
+	// Seed offsets every per-trial RNG seed. Zero keeps the historical
+	// fixed seeds (1, 2, 3, …) so default figure output is unchanged;
+	// any other value remaps each trial seed through a splitmix64-style
+	// mix, giving an independent but still deterministic replication.
+	Seed int64
+}
+
+// seedFor maps a stable per-trial index to the seed actually used.
+func (o Options) seedFor(n int64) int64 {
+	if o.Seed == 0 {
+		return n
+	}
+	x := uint64(n) + uint64(o.Seed)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	s := int64(x)
+	if s < 0 {
+		s = -s
+	}
+	if s == 0 {
+		s = 1
+	}
+	return s
 }
 
 func (o Options) withDefaults() Options {
@@ -85,7 +112,7 @@ func Fig2(o Options) Fig2Result {
 	}
 	var devSamples, gradSamples [][]float64
 	for _, rate := range res.ArrivalRates {
-		devs, grads := fig2Trial(o.Trace, fmt.Sprintf("fig2_rate%g", rate), 1, rate, dur)
+		devs, grads := fig2Trial(o.Trace, fmt.Sprintf("fig2_rate%g", rate), o.seedFor(1), rate, dur)
 		devSamples = append(devSamples, devs)
 		gradSamples = append(gradSamples, grads)
 		dh := stats.NewHistogram(0, 0.0014, 28) // 0–1.4 ms as in Fig. 2(a)
@@ -182,11 +209,11 @@ func Fig3(o Options, protocols []string) (throughput, inflation *Table) {
 		iRow := TableRow{X: float64(buf) / 1000}
 		for _, proto := range protocols {
 			proto := proto
-			tput := meanOver(o.Trials, func(seed int64) float64 {
+			tput := meanOver(o, func(seed int64) float64 {
 				return soloTraced(o.Trace, fmt.Sprintf("fig3_buf%d_%s_s%d", buf, proto, seed),
 					seed, link, proto, o.Duration*0.2, o.Duration).Mbps
 			})
-			infl := meanOver(o.Trials, func(seed int64) float64 {
+			infl := meanOver(o, func(seed int64) float64 {
 				r := RunSolo(seed+100, link, proto, o.Duration*0.2, o.Duration)
 				base := link.RTT + float64(netem.MTU)/(link.Mbps*1e6/8)
 				return (r.P95RTT() - base) / (float64(buf) / (link.Mbps * 1e6 / 8))
@@ -221,7 +248,7 @@ func Fig4(o Options, protocols []string) *Table {
 		row := TableRow{X: loss}
 		for _, proto := range protocols {
 			proto := proto
-			row.Cells = append(row.Cells, meanOver(o.Trials, func(seed int64) float64 {
+			row.Cells = append(row.Cells, meanOver(o, func(seed int64) float64 {
 				return soloTraced(o.Trace, fmt.Sprintf("fig4_loss%g_%s_s%d", loss, proto, seed),
 					seed, link, proto, o.Duration*0.2, o.Duration).Mbps
 			}))
@@ -255,7 +282,7 @@ func Fig5(o Options, protocols []string) *Table {
 		row := TableRow{X: float64(n)}
 		for _, proto := range protocols {
 			proto := proto
-			j := meanOver(o.Trials, func(seed int64) float64 {
+			j := meanOver(o, func(seed int64) float64 {
 				flows := make([]FlowSpec, n)
 				for i := range flows {
 					flows[i] = FlowSpec{Proto: proto, StartAt: float64(i) * 20}
@@ -312,7 +339,7 @@ func Fig6(o Options, scavengers []string) []Fig6Cell {
 			soloRTT := 0.0
 			for tr := 0; tr < o.Trials; tr++ {
 				r := soloTraced(o.Trace, fmt.Sprintf("fig6_buf%d_%s_solo_s%d", buf, primary, tr+1),
-					int64(tr+1), link, primary, measureFrom, dur)
+					o.seedFor(int64(tr+1)), link, primary, measureFrom, dur)
 				soloT += r.Mbps
 				soloRTT += r.P95RTT()
 			}
@@ -323,7 +350,7 @@ func Fig6(o Options, scavengers []string) []Fig6Cell {
 				for tr := 0; tr < o.Trials; tr++ {
 					res := runTraced(o.Trace,
 						fmt.Sprintf("fig6_buf%d_%s_vs_%s_s%d", buf, primary, scv, tr+1),
-						int64(tr+1), link,
+						o.seedFor(int64(tr+1)), link,
 						[]FlowSpec{{Proto: primary}, {Proto: scv, StartAt: 20}},
 						measureFrom, dur)
 					pT += res[0].Mbps
@@ -416,7 +443,7 @@ func Fig8(o Options, primaries, scavengers []string) []CDFSeries {
 				for _, primary := range primaries {
 					solo := soloTraced(o.Trace,
 						fmt.Sprintf("fig8_bw%g_rtt%g_buf%g_%s_solo", bw, rtt*1000, bufBDP, primary),
-						seed, link, primary, measureFrom, dur).Mbps
+						o.seedFor(seed), link, primary, measureFrom, dur).Mbps
 					if solo < 0.1 {
 						// A configuration the primary cannot use at all
 						// (e.g. a buffer below one packet train) says
@@ -426,7 +453,7 @@ func Fig8(o Options, primaries, scavengers []string) []CDFSeries {
 					for _, scv := range scavengers {
 						res := runTraced(o.Trace,
 							fmt.Sprintf("fig8_bw%g_rtt%g_buf%g_%s_vs_%s", bw, rtt*1000, bufBDP, primary, scv),
-							seed, link,
+							o.seedFor(seed), link,
 							[]FlowSpec{{Proto: primary}, {Proto: scv, StartAt: 20}},
 							measureFrom, dur)
 						ratio := res[0].Mbps / solo
@@ -506,11 +533,11 @@ func Fig14(o Options) map[string][]TimelineSeries {
 	}
 	link := emulabLink(375000)
 	return map[string][]TimelineSeries{
-		"bbr_vs_bbrs": timeline(o.Trace, "fig14_bbr_vs_bbrs", 1, link, []FlowSpec{
+		"bbr_vs_bbrs": timeline(o.Trace, "fig14_bbr_vs_bbrs", o.seedFor(1), link, []FlowSpec{
 			{Proto: ProtoBBR}, {Proto: ProtoBBRS, StartAt: 10}}, dur),
-		"bbrs_vs_bbrs": timeline(o.Trace, "fig14_bbrs_vs_bbrs", 2, link, []FlowSpec{
+		"bbrs_vs_bbrs": timeline(o.Trace, "fig14_bbrs_vs_bbrs", o.seedFor(2), link, []FlowSpec{
 			{Proto: ProtoBBRS}, {Proto: ProtoBBRS, StartAt: 10}}, dur),
-		"cubic_vs_bbrs": timeline(o.Trace, "fig14_cubic_vs_bbrs", 3, link, []FlowSpec{
+		"cubic_vs_bbrs": timeline(o.Trace, "fig14_cubic_vs_bbrs", o.seedFor(3), link, []FlowSpec{
 			{Proto: ProtoCubic}, {Proto: ProtoBBRS, StartAt: 10}}, dur),
 	}
 }
@@ -535,7 +562,7 @@ func Fig18(o Options, protocols []string) map[string][]TimelineSeries {
 		for j := range flows {
 			flows[j] = FlowSpec{Proto: proto, StartAt: float64(j) * gap}
 		}
-		out[proto] = timeline(o.Trace, "fig18_"+proto, int64(i+1), link, flows, dur)
+		out[proto] = timeline(o.Trace, "fig18_"+proto, o.seedFor(int64(i+1)), link, flows, dur)
 	}
 	return out
 }
@@ -564,7 +591,7 @@ func LTESolo(o Options, protocols []string) *Table {
 		proto := proto
 		var tput, rtt float64
 		for tr := 0; tr < o.Trials; tr++ {
-			tp, p95 := lteTrial(o.Trace, fmt.Sprintf("lte_%s_s%d", proto, tr+1), int64(tr+1), proto, dur)
+			tp, p95 := lteTrial(o.Trace, fmt.Sprintf("lte_%s_s%d", proto, tr+1), o.seedFor(int64(tr+1)), proto, dur)
 			tput += tp
 			rtt += p95
 		}

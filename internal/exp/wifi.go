@@ -59,7 +59,7 @@ func Fig9(o Options, protocols []string) []CDFSeries {
 		nProfiles = 8
 		dur = 60
 	}
-	profiles := WiFiProfiles(nProfiles, 7)
+	profiles := WiFiProfiles(nProfiles, o.seedFor(7))
 	series := make([]CDFSeries, len(protocols))
 	for i, p := range protocols {
 		series[i].Name = p
@@ -69,7 +69,7 @@ func Fig9(o Options, protocols []string) []CDFSeries {
 		best := 0.0
 		for i, proto := range protocols {
 			r := soloTraced(o.Trace, fmt.Sprintf("fig9_p%d_%s", pi, proto),
-				int64(pi+1), prof.Link, proto, dur*0.25, dur)
+				o.seedFor(int64(pi+1)), prof.Link, proto, dur*0.25, dur)
 			tputs[i] = r.Mbps
 			if r.Mbps > best {
 				best = r.Mbps
@@ -102,19 +102,19 @@ func Fig10(o Options, primaries, scavengers []string) []CDFSeries {
 		nProfiles = 6
 		dur, measureFrom = 80, 30
 	}
-	profiles := WiFiProfiles(nProfiles, 7)
+	profiles := WiFiProfiles(nProfiles, o.seedFor(7))
 	var out []CDFSeries
 	for _, primary := range primaries {
 		for _, scv := range scavengers {
 			s := CDFSeries{Name: primary + " vs " + scv}
 			for pi, prof := range profiles {
 				solo := soloTraced(o.Trace, fmt.Sprintf("fig10_p%d_%s_solo", pi, primary),
-					int64(pi+1), prof.Link, primary, measureFrom, dur).Mbps
+					o.seedFor(int64(pi+1)), prof.Link, primary, measureFrom, dur).Mbps
 				if solo == 0 {
 					continue
 				}
 				res := runTraced(o.Trace, fmt.Sprintf("fig10_p%d_%s_vs_%s", pi, primary, scv),
-					int64(pi+1), prof.Link,
+					o.seedFor(int64(pi+1)), prof.Link,
 					[]FlowSpec{{Proto: primary}, {Proto: scv, StartAt: 10}},
 					measureFrom, dur)
 				ratio := res[0].Mbps / solo

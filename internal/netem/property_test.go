@@ -1,0 +1,99 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+
+	"pccproteus/internal/sim"
+)
+
+// Property tests: under randomized offered load, loss probability, and
+// mid-run rate changes, the link's conservation laws must hold exactly.
+//
+//   - queue occupancy never exceeds QueueCap (checked at every
+//     enqueue and at random probe times);
+//   - every offered packet is either accepted or tail-dropped:
+//     Enqueued + Dropped == offered;
+//   - every accepted packet eventually either delivers or falls to
+//     random loss: Delivered + LostRandom == Enqueued after drain;
+//   - SentBytes equals the bytes of all accepted packets after drain,
+//     and the queue is empty.
+func TestLinkConservationRandomized(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			s := sim.New(seed)
+			queueCap := 2*MTU + rng.Intn(50*MTU) // fixed per trial
+			link := NewLink(s, 1+rng.Float64()*99, queueCap, rng.Float64()*0.05)
+			link.LossProb = rng.Float64() * 0.3
+			if rng.Intn(2) == 0 {
+				link.Jitter = LognormalNoise{Median: 0.001, Sigma: 0.5}
+			}
+
+			checkCap := func(when string) {
+				if q := link.QueueBytes(); q > queueCap || q < 0 {
+					t.Fatalf("seed %d: queue %d outside [0,%d] %s at t=%.4f",
+						seed, q, queueCap, when, s.Now())
+				}
+			}
+
+			var offered, accepted, acceptedBytes, delivered int64
+			n := 200 + rng.Intn(800)
+			for i := 0; i < n; i++ {
+				pkt := &Packet{FlowID: 1, Seq: int64(i), Size: 40 + rng.Intn(MTU-40+1)}
+				at := rng.Float64() * 10
+				s.At(at, func() {
+					pkt.SentAt = s.Now()
+					offered++
+					if link.Send(pkt, func(p *Packet, arrival float64) {
+						delivered++
+						checkCap("at delivery")
+					}) {
+						accepted++
+						acceptedBytes += int64(pkt.Size)
+					}
+					checkCap("after send")
+				})
+			}
+			// Mid-run rate changes: the schedule the adversary subsystem
+			// drives through sim events, reduced to its essence.
+			for i := 0; i < 10; i++ {
+				newRate := (0.5 + rng.Float64()*99.5) * 1e6 / 8
+				s.At(rng.Float64()*10, func() { link.Rate = newRate })
+			}
+			// Random occupancy probes between events.
+			for i := 0; i < 50; i++ {
+				s.At(rng.Float64()*12, func() { checkCap("at probe") })
+			}
+
+			// Run long past the last send so the queue fully drains even
+			// at the slowest rate the walk can pick.
+			s.Run(10 + float64(queueCap)/(0.5*1e6/8) + 30)
+
+			st := link.Stats()
+			if st.Enqueued+st.Dropped != offered {
+				t.Fatalf("seed %d: Enqueued %d + Dropped %d != offered %d", seed, st.Enqueued, st.Dropped, offered)
+			}
+			if st.Enqueued != accepted {
+				t.Fatalf("seed %d: Enqueued %d != accepted sends %d", seed, st.Enqueued, accepted)
+			}
+			if st.Delivered+st.LostRandom != st.Enqueued {
+				t.Fatalf("seed %d: Delivered %d + LostRandom %d != Enqueued %d after drain",
+					seed, st.Delivered, st.LostRandom, st.Enqueued)
+			}
+			if st.Delivered != delivered {
+				t.Fatalf("seed %d: Delivered %d != observed deliveries %d", seed, st.Delivered, delivered)
+			}
+			if st.SentBytes != acceptedBytes {
+				t.Fatalf("seed %d: SentBytes %d != accepted bytes %d after drain", seed, st.SentBytes, acceptedBytes)
+			}
+			if link.QueueBytes() != 0 {
+				t.Fatalf("seed %d: queue not empty after drain: %d", seed, link.QueueBytes())
+			}
+			if st.Dropped == 0 && st.LostRandom == 0 && link.LossProb > 0.05 {
+				t.Logf("seed %d: note: no losses at all (lossProb=%.2f, n=%d)", seed, link.LossProb, n)
+			}
+		})
+	}
+}

@@ -12,8 +12,29 @@ import (
 	"sort"
 )
 
+// dropNaN returns xs with NaN samples removed. When xs has no NaN it is
+// returned as-is, without copying — the common case stays allocation-free.
+// NaNs are treated as missing measurements everywhere in this package:
+// one poisoned RTT sample must not propagate into a rate computation.
+func dropNaN(xs []float64) []float64 {
+	for i, x := range xs {
+		if math.IsNaN(x) {
+			out := append([]float64(nil), xs[:i]...)
+			for _, y := range xs[i+1:] {
+				if !math.IsNaN(y) {
+					out = append(out, y)
+				}
+			}
+			return out
+		}
+	}
+	return xs
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+// NaN samples are ignored.
 func Mean(xs []float64) float64 {
+	xs = dropNaN(xs)
 	if len(xs) == 0 {
 		return 0
 	}
@@ -25,8 +46,10 @@ func Mean(xs []float64) float64 {
 }
 
 // StdDev returns the population standard deviation of xs (divide by n,
-// matching the paper's σ(RTT) definition), or 0 when len(xs) < 2.
+// matching the paper's σ(RTT) definition), or 0 when fewer than two
+// non-NaN samples remain.
 func StdDev(xs []float64) float64 {
+	xs = dropNaN(xs)
 	if len(xs) < 2 {
 		return 0
 	}
@@ -41,8 +64,10 @@ func StdDev(xs []float64) float64 {
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using
 // linear interpolation between closest ranks. It copies and sorts its
-// input. Returns 0 for an empty slice.
+// input. Returns 0 for an empty slice; NaN samples are ignored (a NaN p
+// returns the minimum, like p <= 0).
 func Percentile(xs []float64, p float64) float64 {
+	xs = dropNaN(xs)
 	if len(xs) == 0 {
 		return 0
 	}
@@ -61,7 +86,7 @@ func percentileSorted(c []float64, p float64) float64 {
 	if len(c) == 0 {
 		return 0
 	}
-	if p <= 0 {
+	if !(p > 0) { // includes NaN
 		return c[0]
 	}
 	if p >= 100 {
@@ -82,8 +107,10 @@ func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
 // JainIndex returns Jain's fairness index of the allocation xs:
 // (Σx)² / (n · Σx²). It is 1 for perfectly equal shares and 1/n when one
-// flow takes everything. Returns 0 for empty or all-zero input.
+// flow takes everything. Returns 0 for empty or all-zero input; NaN
+// samples are ignored.
 func JainIndex(xs []float64) float64 {
+	xs = dropNaN(xs)
 	if len(xs) == 0 {
 		return 0
 	}
@@ -108,30 +135,38 @@ type LinReg struct {
 
 // LinearRegression fits y = a + b·x by least squares. With fewer than two
 // points, or zero x-variance, the slope is 0 and the intercept is the
-// mean of y.
+// mean of y. Pairs where either coordinate is NaN are ignored.
 func LinearRegression(x, y []float64) LinReg {
 	n := len(x)
 	if len(y) < n {
 		n = len(y)
 	}
-	if n == 0 {
+	ok := func(i int) bool { return !math.IsNaN(x[i]) && !math.IsNaN(y[i]) }
+	var mx, my float64
+	m := 0
+	for i := 0; i < n; i++ {
+		if ok(i) {
+			mx += x[i]
+			my += y[i]
+			m++
+		}
+	}
+	if m == 0 {
 		return LinReg{}
 	}
-	var mx, my float64
-	for i := 0; i < n; i++ {
-		mx += x[i]
-		my += y[i]
-	}
-	mx /= float64(n)
-	my /= float64(n)
+	mx /= float64(m)
+	my /= float64(m)
 	var sxx, sxy float64
 	for i := 0; i < n; i++ {
+		if !ok(i) {
+			continue
+		}
 		dx := x[i] - mx
 		sxx += dx * dx
 		sxy += dx * (y[i] - my)
 	}
-	r := LinReg{N: n}
-	if sxx == 0 || n < 2 {
+	r := LinReg{N: m}
+	if sxx == 0 || m < 2 {
 		r.Intercept = my
 	} else {
 		r.Slope = sxy / sxx
@@ -139,10 +174,13 @@ func LinearRegression(x, y []float64) LinReg {
 	}
 	var sse float64
 	for i := 0; i < n; i++ {
+		if !ok(i) {
+			continue
+		}
 		e := y[i] - (r.Intercept + r.Slope*x[i])
 		sse += e * e
 	}
-	r.Residual = math.Sqrt(sse / float64(n))
+	r.Residual = math.Sqrt(sse / float64(m))
 	return r
 }
 
@@ -152,6 +190,7 @@ func LinearRegression(x, y []float64) LinReg {
 // population A — the paper's Figure 2 confusion metric. Ties count half.
 // Computed exactly in O((n+m) log(n+m)).
 func ConfusionProbability(sampleA, sampleB []float64) float64 {
+	sampleA, sampleB = dropNaN(sampleA), dropNaN(sampleB)
 	if len(sampleA) == 0 || len(sampleB) == 0 {
 		return 0
 	}
@@ -184,8 +223,12 @@ type Welford struct {
 	m2   float64
 }
 
-// Add incorporates x.
+// Add incorporates x. NaN samples are ignored: a single poisoned sample
+// would otherwise corrupt the running moments permanently.
 func (w *Welford) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
 	w.n++
 	d := x - w.mean
 	w.mean += d / float64(w.n)
@@ -224,8 +267,12 @@ type EWMA struct {
 // NewEWMA returns an EWMA with the kernel's classic gains (1/8, 1/4).
 func NewEWMA() *EWMA { return &EWMA{Alpha: 0.125, Beta: 0.25} }
 
-// Add incorporates a sample.
+// Add incorporates a sample. NaN samples are ignored — an EWMA seeded
+// or fed with NaN would stay NaN forever.
 func (e *EWMA) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
 	if !e.init {
 		e.avg = x
 		e.dev = math.Abs(x) / 2
@@ -261,8 +308,13 @@ type timedSample struct {
 	t, v float64
 }
 
-// Add records sample v at time t (t must be nondecreasing).
+// Add records sample v at time t (t must be nondecreasing). NaN values
+// are ignored: NaN compares false with everything, so one would sit in
+// the deque shadowing real minima.
 func (w *WindowedMin) Add(t, v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	for len(w.samples) > 0 && w.samples[len(w.samples)-1].v >= v {
 		w.samples = w.samples[:len(w.samples)-1]
 	}
@@ -293,8 +345,12 @@ type WindowedMax struct {
 	samples []timedSample
 }
 
-// Add records sample v at time t (t must be nondecreasing).
+// Add records sample v at time t (t must be nondecreasing). NaN values
+// are ignored, as in WindowedMin.
 func (w *WindowedMax) Add(t, v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	for len(w.samples) > 0 && w.samples[len(w.samples)-1].v <= v {
 		w.samples = w.samples[:len(w.samples)-1]
 	}
@@ -334,14 +390,25 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
 }
 
-// Add records one sample.
+// Add records one sample. NaN samples are ignored (float-to-int
+// conversion of NaN is platform-defined in Go, so a NaN bin index is
+// not even deterministic); ±Inf clamps to the edge bins. A degenerate
+// range (Hi <= Lo) puts everything in bin 0.
 func (h *Histogram) Add(x float64) {
-	b := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
-	if b < 0 {
-		b = 0
+	if math.IsNaN(x) {
+		return
 	}
-	if b >= len(h.Counts) {
-		b = len(h.Counts) - 1
+	b := 0
+	if h.Hi > h.Lo {
+		switch frac := (x - h.Lo) / (h.Hi - h.Lo); {
+		case frac >= 1:
+			b = len(h.Counts) - 1
+		case frac > 0:
+			b = int(frac * float64(len(h.Counts)))
+			if b >= len(h.Counts) { // frac just below 1 can round up
+				b = len(h.Counts) - 1
+			}
+		}
 	}
 	h.Counts[b]++
 	h.N++
@@ -367,7 +434,9 @@ func (h *Histogram) BinCenter(i int) float64 {
 
 // CDF returns the empirical CDF of xs evaluated at each sorted sample,
 // as (values, cumulative fractions). Useful for plotting Figures 8–10.
+// NaN samples are ignored.
 func CDF(xs []float64) (values, fracs []float64) {
+	xs = dropNaN(xs)
 	if len(xs) == 0 {
 		return nil, nil
 	}
