@@ -56,7 +56,27 @@ func main() {
 	huntBudget := flag.Int("hunt-budget", 200, "schedule evaluations to spend in a -hunt search")
 	huntOut := flag.String("hunt-out", "", "write the minimized counterexample JSON here (with -hunt)")
 	replay := flag.String("replay", "", "re-verify a counterexample replay file instead of running figures")
+	wireMode := flag.Bool("wire", false, "run the sim-vs-wire parity table (real UDP loopback, real time) instead of figures; with -replay, replay the counterexample through the wire shim")
+	wireProtos := flag.String("wire-protos", "proteus-p,proteus-s,proteus-h", "comma-separated protocols for -wire")
+	wireDur := flag.Float64("wire-dur", 0, "seconds per -wire run (0 = 12, or 8 with -fast)")
+	wireMbps := flag.Float64("wire-mbps", 20, "bottleneck capacity for -wire")
+	wireRTT := flag.Float64("wire-rtt", 0.040, "base RTT for -wire, seconds")
 	flag.Parse()
+
+	if *wireMode && *replay == "" {
+		if err := runWireParity(os.Stdout, *wireProtos, *wireDur, *wireMbps, *wireRTT, *seed, *fast); err != nil {
+			fmt.Fprintf(os.Stderr, "proteusbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *replay != "" && *wireMode {
+		if err := runWireReplay(os.Stdout, *replay); err != nil {
+			fmt.Fprintf(os.Stderr, "proteusbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *hunt != "" || *replay != "" {
 		var err error

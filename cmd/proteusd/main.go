@@ -1,0 +1,270 @@
+// Command proteusd is the standalone wire-datapath daemon: the same
+// Sender/Receiver/Shim stack the parity harness drives in-process,
+// exposed as a command so the Proteus controllers can be run between
+// two real processes (typically both on localhost).
+//
+// A two-process session looks like:
+//
+//	proteusd recv -listen 127.0.0.1:9741
+//	proteusd send -to 127.0.0.1:9741 -proto proteus-s -duration 10
+//
+// The sender can interpose the userspace impairment shim in front of
+// the destination with -shim, which emulates a bottleneck (rate,
+// tail-drop queue, propagation delay, random loss) without root:
+//
+//	proteusd send -to 127.0.0.1:9741 -shim -mbps 20 -rtt 0.040 -duration 10
+//
+// `proteusd demo` runs sender, shim and receiver in one process — the
+// quickest way to watch a controller work over real sockets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pccproteus/internal/exp"
+	"pccproteus/internal/transport"
+	"pccproteus/internal/wire"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "recv":
+		err = runRecv(os.Args[2:])
+	case "send":
+		err = runSend(os.Args[2:])
+	case "demo":
+		err = runDemo(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proteusd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: proteusd <recv|send|demo> [flags]
+
+  recv  -listen ADDR                      ack-generating receiver
+  send  -to ADDR -proto NAME [-shim ...]  congestion-controlled sender
+  demo  [-proto NAME ...]                 single-process loopback run
+
+run "proteusd <mode> -h" for the mode's flags`)
+}
+
+// runRecv listens for the data stream and prints a per-second line of
+// receive-side counters until interrupted.
+func runRecv(args []string) error {
+	fs := flag.NewFlagSet("recv", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:9741", "UDP address to listen on")
+	quiet := fs.Bool("quiet", false, "suppress per-second stats")
+	fs.Parse(args)
+
+	addr, err := net.ResolveUDPAddr("udp", *listen)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return err
+	}
+	conn.SetReadBuffer(1 << 21)
+	conn.SetWriteBuffer(1 << 21)
+	recv := &wire.Receiver{Conn: conn}
+	if err := recv.Start(); err != nil {
+		return err
+	}
+	defer recv.Stop()
+	fmt.Printf("proteusd recv: listening on %s\n", recv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	var last wire.ReceiverStats
+	for {
+		select {
+		case <-sig:
+			st := recv.Stats()
+			fmt.Printf("total: pkts=%d bytes=%d dups=%d acks=%d cum=%d\n",
+				st.Pkts, st.Bytes, st.Dups, st.AcksSent, st.CumAck)
+			return nil
+		case <-tick.C:
+			st := recv.Stats()
+			if !*quiet && st.Pkts != last.Pkts {
+				fmt.Printf("rx %7.3f Mbps  pkts=%d dups=%d cum=%d sacks=%d\n",
+					float64(st.Bytes-last.Bytes)*8/1e6, st.Pkts, st.Dups, st.CumAck, st.AcksSent)
+			}
+			last = st
+		}
+	}
+}
+
+// runSend drives one congestion-controlled flow at the given address,
+// optionally through an in-process impairment shim, and prints a
+// per-second line of send-side counters.
+func runSend(args []string) error {
+	fs := flag.NewFlagSet("send", flag.ExitOnError)
+	to := fs.String("to", "127.0.0.1:9741", "receiver UDP address")
+	proto := fs.String("proto", exp.ProtoProteusP, "controller (proteus-p, proteus-s, proteus-h, ...)")
+	duration := fs.Float64("duration", 10, "seconds to run (0 = until interrupted)")
+	seed := fs.Int64("seed", 1, "controller RNG seed")
+	quiet := fs.Bool("quiet", false, "suppress per-second stats")
+	shimFlags := newShimFlags(fs)
+	fs.Parse(args)
+
+	dst, err := net.ResolveUDPAddr("udp", *to)
+	if err != nil {
+		return err
+	}
+	if shimFlags.enabled() {
+		shim, err := wire.NewShim(shimFlags.config(*seed), dst)
+		if err != nil {
+			return err
+		}
+		if err := shim.Start(); err != nil {
+			return err
+		}
+		defer func() {
+			shim.Stop()
+			st := shim.Stats()
+			fmt.Printf("shim: enq=%d drop=%d rand=%d fwd=%d acks=%d\n",
+				st.Enqueued, st.Dropped, st.LostRandom, st.Delivered, st.AcksRelay)
+		}()
+		dst = shim.Addr()
+		fmt.Printf("proteusd send: shim %s at %s\n", shimFlags.describe(), dst)
+	}
+
+	conn, err := net.DialUDP("udp", nil, dst)
+	if err != nil {
+		return err
+	}
+	conn.SetReadBuffer(1 << 21)
+	conn.SetWriteBuffer(1 << 21)
+	rng := rand.New(rand.NewSource(wire.MixSeed(*seed, 0x55)))
+	snd := &wire.Sender{
+		CC:   exp.NewControllerRNG(rng, *proto),
+		Conn: conn,
+	}
+	if err := snd.Start(); err != nil {
+		return err
+	}
+	defer snd.Stop()
+	fmt.Printf("proteusd send: %s -> %s\n", *proto, *to)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	deadline := time.Now().Add(time.Duration(*duration * float64(time.Second)))
+	var last wire.SenderStats
+	for {
+		select {
+		case <-sig:
+			printSendTotal(snd.Stats())
+			return nil
+		case <-tick.C:
+			st := snd.Stats()
+			if !*quiet {
+				fmt.Printf("tx %7.3f Mbps  rate=%6.2f srtt=%5.1fms inflight=%d lost=%d\n",
+					float64(st.AckedBytes-last.AckedBytes)*8/1e6,
+					st.RateMbps, st.SRTT*1e3, st.Inflight, st.LostPkts)
+			}
+			last = st
+			if *duration > 0 && !time.Now().Before(deadline) {
+				printSendTotal(st)
+				return nil
+			}
+		}
+	}
+}
+
+func printSendTotal(st wire.SenderStats) {
+	fmt.Printf("total: sent=%d acked=%d lost=%d bytes=%d srtt=%.1fms minrtt=%.1fms\n",
+		st.SentPkts, st.AckedPkts, st.LostPkts, st.AckedBytes, st.SRTT*1e3, st.MinRTT*1e3)
+}
+
+// runDemo is the single-process version: RunLoopback with a summary.
+func runDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	proto := fs.String("proto", exp.ProtoProteusP, "controller to run")
+	duration := fs.Float64("duration", 10, "seconds to run")
+	seed := fs.Int64("seed", 1, "controller and shim RNG seed")
+	shimFlags := newShimFlags(fs)
+	fs.Parse(args)
+
+	fmt.Printf("proteusd demo: %s over %s for %.0fs\n", *proto, shimFlags.describe(), *duration)
+	res, err := wire.RunLoopback(wire.LoopbackConfig{
+		NewController: func() transport.Controller {
+			return exp.NewControllerRNG(rand.New(rand.NewSource(wire.MixSeed(*seed, 0x55))), *proto)
+		},
+		Shim:     shimFlags.config(*seed),
+		Duration: *duration,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("per-second Mbps:")
+	for _, m := range res.PerSecMbps {
+		fmt.Printf(" %.1f", m)
+	}
+	fmt.Printf("\nsteady state: %.2f Mbps, mean RTT %.1f ms, p95 %.1f ms, loss %.2f%%\n",
+		res.Mbps, res.MeanRTT*1e3, res.P95RTT*1e3, res.LossRate*100)
+	return nil
+}
+
+// shimFlags groups the emulated-bottleneck flags shared by send/demo.
+type shimFlags struct {
+	use   *bool
+	mbps  *float64
+	rtt   *float64
+	queue *int
+	loss  *float64
+}
+
+func newShimFlags(fs *flag.FlagSet) *shimFlags {
+	return &shimFlags{
+		use:   fs.Bool("shim", false, "interpose the impairment shim (demo always does)"),
+		mbps:  fs.Float64("mbps", 20, "shim bottleneck capacity, Mbps"),
+		rtt:   fs.Float64("rtt", 0.040, "shim base round-trip time, seconds"),
+		queue: fs.Int("queue", 0, "shim queue bytes (0 = 1.5×BDP)"),
+		loss:  fs.Float64("loss", 0, "shim random loss probability"),
+	}
+}
+
+func (sf *shimFlags) enabled() bool { return *sf.use }
+
+func (sf *shimFlags) config(seed int64) wire.ShimConfig {
+	queue := *sf.queue
+	if queue <= 0 {
+		queue = int(1.5 * *sf.mbps * 1e6 / 8 * *sf.rtt)
+	}
+	return wire.ShimConfig{
+		RateMbps:   *sf.mbps,
+		QueueBytes: queue,
+		Delay:      *sf.rtt / 2,
+		AckDelay:   *sf.rtt / 2,
+		LossProb:   *sf.loss,
+		Seed:       wire.MixSeed(seed, 0x77),
+	}
+}
+
+func (sf *shimFlags) describe() string {
+	return fmt.Sprintf("%.0f Mbps / %.0f ms RTT", *sf.mbps, *sf.rtt*1e3)
+}

@@ -1,10 +1,11 @@
 // Quickstart: run one PCC Proteus (primary mode) flow over an emulated
 // 50 Mbps / 30 ms bottleneck and watch it converge.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-seed N]
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"pccproteus/internal/core"
@@ -12,11 +13,22 @@ import (
 	"pccproteus/internal/sim"
 	"pccproteus/internal/stats"
 	"pccproteus/internal/transport"
+	"pccproteus/internal/wire"
 )
 
 func main() {
-	// 1. A deterministic virtual-time simulation.
-	s := sim.New(42)
+	seed := flag.Int64("seed", 0, "simulation seed (0 = the historical default, 42)")
+	flag.Parse()
+
+	// 1. A deterministic virtual-time simulation. Nonzero seeds go
+	// through the same splitmix64 whitening the benchmark driver uses,
+	// so quickstart -seed N and proteusbench -seed N explore the same
+	// RNG streams for the same N.
+	simSeed := int64(42)
+	if *seed != 0 {
+		simSeed = wire.MixSeed(*seed, 0x55)
+	}
+	s := sim.New(simSeed)
 
 	// 2. The network: 50 Mbps bottleneck, 30 ms base RTT, 2·BDP buffer.
 	link := netem.NewLink(s, 50, 375000, 0.015)

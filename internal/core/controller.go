@@ -344,7 +344,14 @@ func (c *Controller) srtt() float64 {
 
 // OnAck implements transport.Controller.
 func (c *Controller) OnAck(ack transport.Ack) {
-	res, done := c.mon.onAck(ack.Now, ack.MI, ack.SentAt, ack.RTT, c.util)
+	// The monitor's ack filter clocks intervals on the receiver-side
+	// arrival stamp (immune to reverse-path jitter); transports that do
+	// not stamp arrivals fall back to the sender-side ack time.
+	recvAt := ack.RecvAt
+	if recvAt <= 0 {
+		recvAt = ack.Now
+	}
+	res, done := c.mon.onAck(recvAt, ack.MI, ack.SentAt, ack.RTT, c.util)
 	if done {
 		c.handleResult(ack.Now, res)
 	}

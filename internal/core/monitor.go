@@ -132,16 +132,27 @@ func (mo *monitor) discardOpen() int64 {
 // between two consecutive ACK intervals exceeds the threshold, RTT
 // samples are ignored until one falls below the EWMA RTT average.
 // Returns true when the sample should be kept.
-func (mo *monitor) ackFilter(now, rtt float64) bool {
+//
+// The interval clock is the receiver-side arrival stamp, not the
+// sender-side ack arrival time: the burstiness the filter guards
+// against (ack compression distorting RTT samples) is a data-path
+// property, visible in the spacing of arrivals at the receiver, while
+// sender-side spacing additionally carries reverse-path and host
+// scheduling jitter. On a real wire that jitter trips the ratio test
+// spuriously — worst of all during the slow-start overload transient,
+// where the filter would then discard the climbing RTTs that are the
+// exit signal, because no sample dips below the EWMA until the queue
+// drains.
+func (mo *monitor) ackFilter(recvAt, rtt float64) bool {
 	if mo.cfg.UseAckFilter {
 		if mo.lastAckAt > 0 {
-			interval := now - mo.lastAckAt
+			interval := recvAt - mo.lastAckAt
 			if mo.lastInterval > 0 && interval > mo.cfg.AckIntervalRatio*mo.lastInterval {
 				mo.filtering = true
 			}
 			mo.lastInterval = interval
 		}
-		mo.lastAckAt = now
+		mo.lastAckAt = recvAt
 		if mo.filtering {
 			if mo.ewmaRTT.Initialized() && rtt < mo.ewmaRTT.Avg() {
 				mo.filtering = false
@@ -152,22 +163,23 @@ func (mo *monitor) ackFilter(now, rtt float64) bool {
 			}
 		}
 	} else {
-		mo.lastAckAt = now
+		mo.lastAckAt = recvAt
 	}
 	mo.ewmaRTT.Add(rtt)
 	return true
 }
 
-// onAck records an acknowledgment for MI miID. If that MI is now
-// complete, its result is returned.
-func (mo *monitor) onAck(now float64, miID int64, sentAt, rtt float64, u UtilityFunc) (miResult, bool) {
+// onAck records an acknowledgment for MI miID, recvAt being the
+// receiver-side arrival stamp used as the ack filter's interval clock.
+// If that MI is now complete, its result is returned.
+func (mo *monitor) onAck(recvAt float64, miID int64, sentAt, rtt float64, u UtilityFunc) (miResult, bool) {
 	m, ok := mo.pending[miID]
 	if !ok {
 		return miResult{}, false
 	}
 	m.outstanding--
 	m.ackedPkts++
-	if mo.ackFilter(now, rtt) {
+	if mo.ackFilter(recvAt, rtt) {
 		// Packets released in one pacing train share a send timestamp.
 		// Collapse them to the train head's (minimum) RTT: the tail of a
 		// train queues behind its own siblings, which says nothing about

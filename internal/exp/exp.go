@@ -8,6 +8,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
@@ -51,16 +52,23 @@ var AllSingle = []string{ProtoProteusS, ProtoLEDBAT, ProtoCubic, ProtoBBR, Proto
 // NewController builds a controller by protocol name. Unknown names
 // panic: experiment definitions are static and a typo should fail loudly.
 func NewController(s *sim.Sim, name string) transport.Controller {
+	return NewControllerRNG(s.Rand(), name)
+}
+
+// NewControllerRNG is NewController with an explicit randomness source,
+// for datapaths that run outside a simulator (the wire harness seeds a
+// private RNG per flow so real-time runs stay reproducible).
+func NewControllerRNG(rng *rand.Rand, name string) transport.Controller {
 	switch name {
 	case ProtoProteusP:
-		return core.NewProteusP(s.Rand())
+		return core.NewProteusP(rng)
 	case ProtoProteusS:
-		return core.NewProteusS(s.Rand())
+		return core.NewProteusS(rng)
 	case ProtoProteusH:
-		c, _ := core.NewProteusH(s.Rand())
+		c, _ := core.NewProteusH(rng)
 		return c
 	case ProtoVivace:
-		return core.NewVivace(s.Rand())
+		return core.NewVivace(rng)
 	case ProtoCubic:
 		return cubic.New()
 	case ProtoBBR:
@@ -74,7 +82,7 @@ func NewController(s *sim.Sim, name string) transport.Controller {
 	case ProtoLEDBAT25:
 		return ledbat.New(0.025)
 	case ProtoAllegro:
-		return allegro.New(s.Rand())
+		return allegro.New(rng)
 	}
 	if strings.HasPrefix(name, ProtoFixedPfx) {
 		mbps, err := strconv.ParseFloat(strings.TrimPrefix(name, ProtoFixedPfx), 64)

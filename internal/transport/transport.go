@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"pccproteus/internal/netem"
+	"pccproteus/internal/sim"
 	"pccproteus/internal/trace"
 )
 
@@ -94,6 +95,32 @@ type TraceAware interface {
 	SetTracer(t trace.Tracer)
 }
 
+// Timer is a cancelable scheduled callback, as returned by Clock.At.
+type Timer interface{ Stop() bool }
+
+// Clock is the time base and timer service a Sender runs on. It exists
+// so the sender's clock is an injected dependency rather than an
+// implication of the simulator: the discrete-event engine provides the
+// default (SimClock), tests substitute hand-driven fakes, and the wire
+// datapath reuses the same controller-facing conventions (seconds as
+// float64, absolute-time scheduling) against the host's real clock.
+type Clock interface {
+	// Now returns the current time in seconds.
+	Now() float64
+	// At schedules fn at absolute time t and returns a cancel handle.
+	At(t float64, fn func()) Timer
+}
+
+// simClock adapts *sim.Sim to Clock.
+type simClock struct{ s *sim.Sim }
+
+func (c simClock) Now() float64                  { return c.s.Now() }
+func (c simClock) At(t float64, fn func()) Timer { return c.s.At(t, fn) }
+
+// SimClock returns the Clock backed by a discrete-event simulator —
+// the default time base for senders on an emulated path.
+func SimClock(s *sim.Sim) Clock { return simClock{s} }
+
 // RTTEstimator maintains RFC 6298 smoothed RTT state plus the lifetime
 // minimum.
 type RTTEstimator struct {
@@ -126,6 +153,11 @@ func (e *RTTEstimator) SRTT() float64 { return e.srtt }
 // MinRTT returns the lifetime minimum RTT (0 before any sample).
 func (e *RTTEstimator) MinRTT() float64 { return e.minRTT }
 
+// RTTVar returns the smoothed mean deviation of the RTT — the basis of
+// the RTO and of the RACK reordering window. Exported so other
+// datapaths (the wire sender) reuse this estimator verbatim.
+func (e *RTTEstimator) RTTVar() float64 { return e.rttvar }
+
 // RTO returns the retransmission timeout, floored at 200 ms.
 func (e *RTTEstimator) RTO() float64 {
 	if !e.init {
@@ -156,6 +188,10 @@ type Sender struct {
 	ID   int
 	Path *netem.Path
 	CC   Controller
+
+	// Clock is the sender's time base. Leave nil for the default:
+	// SimClock over the path's simulator. Set before Start.
+	Clock Clock
 
 	// Limit, when positive, bounds the transfer: the flow completes once
 	// Limit bytes are acknowledged. Lost bytes are re-credited so the
@@ -198,12 +234,18 @@ type Sender struct {
 	paused     bool
 	done       bool
 	started    bool
-	rtoTimer   timerHandle
+	rtoTimer   Timer
 	rttSamples []float64
 	startTime  float64
 }
 
-type timerHandle interface{ Stop() bool }
+// clk returns the sender's clock, defaulting to the path's simulator.
+func (s *Sender) clk() Clock {
+	if s.Clock == nil {
+		s.Clock = simClock{s.Path.Link.Sim}
+	}
+	return s.Clock
+}
 
 // NewSender wires a flow onto a path with the given controller.
 func NewSender(id int, path *netem.Path, cc Controller) *Sender {
@@ -216,7 +258,7 @@ func (s *Sender) Start() {
 		return
 	}
 	s.started = true
-	s.startTime = s.Path.Link.Sim.Now()
+	s.startTime = s.clk().Now()
 	s.tr = s.Path.Link.Sim.FlowTracer(s.ID)
 	if ta, ok := s.CC.(TraceAware); ok {
 		ta.SetTracer(s.tr)
@@ -242,7 +284,7 @@ func (s *Sender) Pause() {
 	}
 	s.paused = true
 	if pa, ok := s.CC.(PauseAware); ok {
-		pa.OnAppPause(s.Path.Link.Sim.Now())
+		pa.OnAppPause(s.clk().Now())
 	}
 }
 
@@ -253,9 +295,9 @@ func (s *Sender) Resume() {
 	}
 	s.paused = false
 	if pa, ok := s.CC.(PauseAware); ok {
-		pa.OnAppResume(s.Path.Link.Sim.Now())
+		pa.OnAppResume(s.clk().Now())
 	}
-	now := s.Path.Link.Sim.Now()
+	now := s.clk().Now()
 	if s.nextSend < now {
 		s.nextSend = now
 	}
@@ -270,7 +312,7 @@ func (s *Sender) Extend(bytes int64) {
 		s.done = false
 		s.armRTO()
 	}
-	now := s.Path.Link.Sim.Now()
+	now := s.clk().Now()
 	if s.nextSend < now {
 		s.nextSend = now
 	}
@@ -341,14 +383,14 @@ func (s *Sender) trySend() {
 		s.blocked = true
 		return
 	}
-	sm := s.Path.Link.Sim
-	now := sm.Now()
+	clk := s.clk()
+	now := clk.Now()
 	at := s.nextSend
 	if at < now {
 		at = now
 	}
 	s.timerSet = true
-	sm.At(at, s.emit)
+	clk.At(at, s.emit)
 }
 
 func (s *Sender) emit() {
@@ -356,8 +398,7 @@ func (s *Sender) emit() {
 	if !s.sendAllowed() {
 		return
 	}
-	sm := s.Path.Link.Sim
-	now := sm.Now()
+	now := s.clk().Now()
 	burst := s.Burst
 	if burst <= 0 {
 		burst = DefaultBurst
@@ -368,8 +409,9 @@ func (s *Sender) emit() {
 		// saturated queue its realistic variance (the M/D/1 blow-up as
 		// utilization approaches 1) — the early competition signal §4.2
 		// builds on. A fixed train length would produce an artificially
-		// periodic, low-variance pattern.
-		burst = 1 + sm.Rand().Intn(2*burst-1)
+		// periodic, low-variance pattern. Randomness stays with the
+		// simulation's seeded source even when the clock is injected.
+		burst = 1 + s.Path.Link.Sim.Rand().Intn(2*burst-1)
 	}
 	sent := 0
 	for i := 0; i < burst; i++ {
@@ -424,15 +466,14 @@ func (s *Sender) deliver(p *netem.Packet, arrival float64) {
 		s.OnDeliver(arrival, p.Size)
 	}
 	ackAt := s.Path.AckArrival(arrival)
-	s.Path.Link.Sim.At(ackAt, func() { s.handleAck(p, arrival) })
+	s.clk().At(ackAt, func() { s.handleAck(p, arrival) })
 }
 
 func (s *Sender) handleAck(p *netem.Packet, recvAt float64) {
 	if s.done && s.Limit > 0 {
 		return
 	}
-	sm := s.Path.Link.Sim
-	now := sm.Now()
+	now := s.clk().Now()
 	idx := s.findUnacked(p.Seq)
 	if idx < 0 {
 		return // already declared lost, or stale after completion
@@ -563,12 +604,12 @@ func (s *Sender) armRTO() {
 	if oldest == nil {
 		return
 	}
-	sm := s.Path.Link.Sim
+	clk := s.clk()
 	deadline := oldest.SentAt + s.rtt.RTO()
-	if deadline < sm.Now() {
-		deadline = sm.Now()
+	if deadline < clk.Now() {
+		deadline = clk.Now()
 	}
-	s.rtoTimer = sm.At(deadline, s.onRTO)
+	s.rtoTimer = clk.At(deadline, s.onRTO)
 }
 
 func (s *Sender) oldestOutstanding() *SentPacket {
@@ -585,8 +626,7 @@ func (s *Sender) onRTO() {
 	if s.done {
 		return
 	}
-	sm := s.Path.Link.Sim
-	now := sm.Now()
+	now := s.clk().Now()
 	rto := s.rtt.RTO()
 	for _, sp := range s.unacked {
 		if !sp.acked && !sp.lost && now-sp.SentAt >= rto-1e-12 {

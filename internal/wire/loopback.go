@@ -1,0 +1,199 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"pccproteus/internal/stats"
+	"pccproteus/internal/trace"
+	"pccproteus/internal/transport"
+)
+
+// LoopbackConfig describes one single-process wire run: a sender, the
+// impairment shim, and a receiver wired together over 127.0.0.1
+// sockets, running for Duration real seconds.
+type LoopbackConfig struct {
+	// NewController builds the flow's congestion controller. A factory
+	// (rather than an instance) keeps package wire independent of the
+	// controller packages; exp supplies one from a protocol name.
+	NewController func() transport.Controller
+
+	Shim     ShimConfig
+	Duration float64 // real seconds to run
+	// MeasureFrom cuts the measurement window [MeasureFrom, Duration]
+	// for throughput and RTT statistics, excluding startup.
+	MeasureFrom float64
+	// Schedule, when non-empty, applies timed impairment updates —
+	// the wire-side replay of an adversary schedule.
+	Schedule []ShimUpdate
+	// Recorder optionally captures flight-recorder events from the
+	// sender and controller (flow 1).
+	Recorder *trace.Recorder
+	// PacketSize defaults to netem.MTU.
+	PacketSize int
+	// Burst defaults to transport.DefaultBurst.
+	Burst int
+}
+
+// LoopbackResult summarizes one loopback wire run.
+type LoopbackResult struct {
+	Mbps         float64 // acked throughput over the measurement window
+	MeanRTT      float64 // seconds, samples within the window
+	P95RTT       float64
+	LossRate     float64 // sender-declared lost packets / sent packets
+	PerSecMbps   []float64
+	CapacityMbps float64 // time-averaged emulated capacity, whole run
+	Sender       SenderStats
+	Receiver     ReceiverStats
+	Shim         ShimStats
+}
+
+// RunLoopback executes one wire scenario end to end and blocks for
+// cfg.Duration of real time.
+func RunLoopback(cfg LoopbackConfig) (*LoopbackResult, error) {
+	if cfg.NewController == nil {
+		return nil, fmt.Errorf("wire: loopback needs a controller factory")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10
+	}
+	if cfg.MeasureFrom <= 0 || cfg.MeasureFrom >= cfg.Duration {
+		cfg.MeasureFrom = cfg.Duration * 0.4
+	}
+
+	rconn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	rconn.SetReadBuffer(1 << 21)
+	rconn.SetWriteBuffer(1 << 21)
+	recv := &Receiver{Conn: rconn}
+	if err := recv.Start(); err != nil {
+		rconn.Close()
+		return nil, err
+	}
+	defer recv.Stop()
+
+	shim, err := NewShim(cfg.Shim, recv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	if err := shim.Start(); err != nil {
+		shim.Stop()
+		return nil, err
+	}
+	defer shim.Stop()
+
+	sconn, err := net.DialUDP("udp", nil, shim.Addr())
+	if err != nil {
+		return nil, err
+	}
+	sconn.SetReadBuffer(1 << 21)
+	sconn.SetWriteBuffer(1 << 21)
+	snd := &Sender{
+		CC:         cfg.NewController(),
+		Conn:       sconn,
+		Burst:      cfg.Burst,
+		PacketSize: cfg.PacketSize,
+		RecordRTT:  true,
+		Recorder:   cfg.Recorder,
+	}
+	if err := snd.Start(); err != nil {
+		sconn.Close()
+		return nil, err
+	}
+	defer snd.Stop()
+
+	// Timed impairment updates, sorted and driven from one goroutine.
+	if len(cfg.Schedule) > 0 {
+		upd := append([]ShimUpdate(nil), cfg.Schedule...)
+		sort.Slice(upd, func(i, j int) bool { return upd[i].At < upd[j].At })
+		go func() {
+			t0 := time.Now()
+			for _, u := range upd {
+				d := time.Duration(u.At*float64(time.Second)) - time.Since(t0)
+				if d > 0 {
+					time.Sleep(d)
+				}
+				shim.Update(u)
+			}
+		}()
+	}
+
+	// Per-second throughput sampling plus the measurement-window mark.
+	nsec := int(cfg.Duration)
+	perSec := make([]float64, 0, nsec)
+	measIsInt := cfg.MeasureFrom == float64(int(cfg.MeasureFrom))
+	var markAcked int64
+	t0 := time.Now()
+	var last int64
+	for sec := 1; sec <= nsec; sec++ {
+		sleepUntilReal(t0, float64(sec))
+		st := snd.Stats()
+		perSec = append(perSec, float64(st.AckedBytes-last)*8/1e6)
+		last = st.AckedBytes
+		if measIsInt && sec == int(cfg.MeasureFrom) {
+			markAcked = st.AckedBytes
+		}
+	}
+	sleepUntilReal(t0, cfg.Duration)
+	if !measIsInt {
+		// Interpolate the mark from the per-second samples.
+		markAcked = ackedAt(perSec, cfg.MeasureFrom)
+	}
+	capBytes := shim.CapacityBytes()
+	final := snd.Stats()
+	samples := snd.RTTSamples()
+
+	res := &LoopbackResult{
+		PerSecMbps:   perSec,
+		Sender:       final,
+		Receiver:     recv.Stats(),
+		Shim:         shim.Stats(),
+		CapacityMbps: capBytes * 8 / 1e6 / cfg.Duration,
+	}
+	window := cfg.Duration - cfg.MeasureFrom
+	if window > 0 {
+		res.Mbps = float64(final.AckedBytes-markAcked) * 8 / window / 1e6
+	}
+	var rtts []float64
+	for _, sm := range samples {
+		if sm.T >= cfg.MeasureFrom {
+			rtts = append(rtts, sm.RTT)
+		}
+	}
+	res.MeanRTT = stats.Mean(rtts)
+	res.P95RTT = stats.Percentile(rtts, 95)
+	if final.SentPkts > 0 {
+		res.LossRate = float64(final.LostPkts) / float64(final.SentPkts)
+	}
+	return res, nil
+}
+
+// sleepUntilReal sleeps until t0+sec of real time has elapsed.
+func sleepUntilReal(t0 time.Time, sec float64) {
+	d := time.Duration(sec*float64(time.Second)) - time.Since(t0)
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// ackedAt reconstructs cumulative acked bytes at time t from
+// per-second throughput samples.
+func ackedAt(perSec []float64, t float64) int64 {
+	total := 0.0
+	for i, mbps := range perSec {
+		hi := float64(i + 1)
+		if hi > t {
+			frac := t - float64(i)
+			if frac > 0 {
+				total += mbps * 1e6 / 8 * frac
+			}
+			break
+		}
+		total += mbps * 1e6 / 8
+	}
+	return int64(total)
+}

@@ -1,0 +1,170 @@
+package wire
+
+import "encoding/binary"
+
+// Wire format. All integers are big-endian.
+//
+// Data packet (DataHeaderLen bytes of header, padded with payload to
+// the configured packet size so serialization cost on the emulated
+// bottleneck matches the sim's MTU accounting):
+//
+//	off len field
+//	0   1   type   (0x50 'P')
+//	1   1   version
+//	2   8   seq
+//	10  8   sentAt  (sender-clock nanos of the packet's *scheduled*
+//	            send time under the token-bucket pacer — at most one
+//	            bucket's worth behind the actual emission instant)
+//	18  8   arrival (wall nanos; 0 from the sender, stamped by the
+//	            impairment shim with the packet's emulated arrival
+//	            time so endpoints measure the emulated path's timing,
+//	            not the host scheduler's delivery jitter)
+//
+// Ack packet (AckFixedLen + 16 bytes per SACK block):
+//
+//	off len field
+//	0   1   type   (0x41 'A')
+//	1   1   number of SACK blocks (0..MaxSackBlocks)
+//	2   8   seq     (the data packet that triggered this ack)
+//	10  8   sentAt  (echoed from that data packet)
+//	18  8   recvAt  (wall nanos at the receiver)
+//	26  8   cumAck  (every seq < cumAck has been received)
+//	34  16n SACK blocks: [start,end) pairs above cumAck, highest last
+const (
+	typeData = 0x50
+	typeAck  = 0x41
+
+	wireVersion = 1
+
+	// DataHeaderLen is the data-packet header size in bytes.
+	DataHeaderLen = 10 + 8 + 8
+	// AckFixedLen is the fixed portion of an ack packet.
+	AckFixedLen = 34
+	// MaxSackBlocks bounds the SACK blocks carried per ack.
+	MaxSackBlocks = 4
+	// MaxAckLen is the largest possible ack packet.
+	MaxAckLen = AckFixedLen + 16*MaxSackBlocks
+)
+
+// DataHeader is the decoded header of a data packet.
+type DataHeader struct {
+	Seq     int64
+	SentAt  int64 // wall nanos
+	Arrival int64 // emulated arrival wall nanos; 0 when no shim stamped it
+}
+
+// EncodeData writes a data packet of exactly size bytes into buf
+// (which must have len >= size >= DataHeaderLen) and returns the
+// packet slice. Bytes past the header are left as-is: they are
+// padding, and reusing the buffer avoids per-packet clearing cost.
+func EncodeData(buf []byte, h DataHeader, size int) []byte {
+	buf[0] = typeData
+	buf[1] = wireVersion
+	binary.BigEndian.PutUint64(buf[2:], uint64(h.Seq))
+	binary.BigEndian.PutUint64(buf[10:], uint64(h.SentAt))
+	binary.BigEndian.PutUint64(buf[18:], uint64(h.Arrival))
+	return buf[:size]
+}
+
+// StampArrival rewrites the arrival field of an encoded data packet in
+// place — the impairment shim's hook. It reports false when b is not a
+// data packet.
+func StampArrival(b []byte, nanos int64) bool {
+	if len(b) < DataHeaderLen || b[0] != typeData || b[1] != wireVersion {
+		return false
+	}
+	binary.BigEndian.PutUint64(b[18:], uint64(nanos))
+	return true
+}
+
+// DecodeData parses a data packet. It reports false for anything that
+// is not a well-formed data packet.
+func DecodeData(b []byte) (DataHeader, bool) {
+	if len(b) < DataHeaderLen || b[0] != typeData || b[1] != wireVersion {
+		return DataHeader{}, false
+	}
+	return DataHeader{
+		Seq:     int64(binary.BigEndian.Uint64(b[2:])),
+		SentAt:  int64(binary.BigEndian.Uint64(b[10:])),
+		Arrival: int64(binary.BigEndian.Uint64(b[18:])),
+	}, true
+}
+
+// SackBlock is one contiguous received range [Start, End).
+type SackBlock struct {
+	Start, End int64
+}
+
+// AckPacket is the decoded form of an ack. Blocks is reused across
+// decodes of the same AckPacket value to keep the receive loop
+// allocation-free.
+type AckPacket struct {
+	Seq        int64 // triggering data seq
+	SentAtEcho int64 // wall nanos echoed from the data packet
+	RecvAt     int64 // wall nanos at the receiver
+	CumAck     int64
+	Blocks     []SackBlock
+}
+
+// Encode writes the ack into buf (len >= MaxAckLen) and returns the
+// packet slice. At most MaxSackBlocks blocks are written; when more
+// are present the highest blocks win, because the sender's RACK loss
+// detection keys off the highest SACKed sequence.
+func (a *AckPacket) Encode(buf []byte) []byte {
+	blocks := a.Blocks
+	if len(blocks) > MaxSackBlocks {
+		blocks = blocks[len(blocks)-MaxSackBlocks:]
+	}
+	buf[0] = typeAck
+	buf[1] = byte(len(blocks))
+	binary.BigEndian.PutUint64(buf[2:], uint64(a.Seq))
+	binary.BigEndian.PutUint64(buf[10:], uint64(a.SentAtEcho))
+	binary.BigEndian.PutUint64(buf[18:], uint64(a.RecvAt))
+	binary.BigEndian.PutUint64(buf[26:], uint64(a.CumAck))
+	off := AckFixedLen
+	for _, bl := range blocks {
+		binary.BigEndian.PutUint64(buf[off:], uint64(bl.Start))
+		binary.BigEndian.PutUint64(buf[off+8:], uint64(bl.End))
+		off += 16
+	}
+	return buf[:off]
+}
+
+// DecodeAck parses an ack packet into a, reusing a.Blocks. It reports
+// false for malformed input.
+func DecodeAck(b []byte, a *AckPacket) bool {
+	if len(b) < AckFixedLen || b[0] != typeAck {
+		return false
+	}
+	n := int(b[1])
+	if n > MaxSackBlocks || len(b) < AckFixedLen+16*n {
+		return false
+	}
+	a.Seq = int64(binary.BigEndian.Uint64(b[2:]))
+	a.SentAtEcho = int64(binary.BigEndian.Uint64(b[10:]))
+	a.RecvAt = int64(binary.BigEndian.Uint64(b[18:]))
+	a.CumAck = int64(binary.BigEndian.Uint64(b[26:]))
+	a.Blocks = a.Blocks[:0]
+	off := AckFixedLen
+	for i := 0; i < n; i++ {
+		a.Blocks = append(a.Blocks, SackBlock{
+			Start: int64(binary.BigEndian.Uint64(b[off:])),
+			End:   int64(binary.BigEndian.Uint64(b[off+8:])),
+		})
+		off += 16
+	}
+	return true
+}
+
+// PacketType classifies a raw datagram for the shim's proxy loop
+// without a full decode: 'P' for data, 'A' for acks, 0 for junk.
+func PacketType(b []byte) byte {
+	if len(b) == 0 {
+		return 0
+	}
+	switch b[0] {
+	case typeData, typeAck:
+		return b[0]
+	}
+	return 0
+}

@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDataPacketRoundtrip(t *testing.T) {
+	buf := make([]byte, 1500)
+	h := DataHeader{Seq: 123456789, SentAt: 1710000000123456789}
+	pkt := EncodeData(buf, h, 1200)
+	if len(pkt) != 1200 {
+		t.Fatalf("packet length %d want 1200", len(pkt))
+	}
+	got, ok := DecodeData(pkt)
+	if !ok || got != h {
+		t.Fatalf("roundtrip: got %+v ok=%v want %+v", got, ok, h)
+	}
+	if PacketType(pkt) != typeData {
+		t.Fatal("PacketType should classify as data")
+	}
+	// Malformed inputs must be rejected.
+	if _, ok := DecodeData(pkt[:DataHeaderLen-1]); ok {
+		t.Fatal("short packet decoded")
+	}
+	bad := append([]byte(nil), pkt...)
+	bad[1] = wireVersion + 1
+	if _, ok := DecodeData(bad); ok {
+		t.Fatal("wrong version decoded")
+	}
+	if _, ok := DecodeData([]byte{typeAck, 1, 2, 3}); ok {
+		t.Fatal("ack decoded as data")
+	}
+}
+
+func TestAckPacketRoundtrip(t *testing.T) {
+	var buf [MaxAckLen]byte
+	a := AckPacket{
+		Seq: 42, SentAtEcho: 111, RecvAt: 222, CumAck: 40,
+		Blocks: []SackBlock{{41, 43}, {45, 50}},
+	}
+	pkt := a.Encode(buf[:])
+	if len(pkt) != AckFixedLen+2*16 {
+		t.Fatalf("ack length %d", len(pkt))
+	}
+	if PacketType(pkt) != typeAck {
+		t.Fatal("PacketType should classify as ack")
+	}
+	var got AckPacket
+	if !DecodeAck(pkt, &got) {
+		t.Fatal("decode failed")
+	}
+	if got.Seq != 42 || got.SentAtEcho != 111 || got.RecvAt != 222 || got.CumAck != 40 {
+		t.Fatalf("fixed fields: %+v", got)
+	}
+	if len(got.Blocks) != 2 || got.Blocks[0] != (SackBlock{41, 43}) || got.Blocks[1] != (SackBlock{45, 50}) {
+		t.Fatalf("blocks: %+v", got.Blocks)
+	}
+	// Decoding reuses Blocks without allocating once capacity exists.
+	if !DecodeAck(pkt, &got) || len(got.Blocks) != 2 {
+		t.Fatal("re-decode failed")
+	}
+}
+
+func TestAckPacketBlockOverflowKeepsHighest(t *testing.T) {
+	var buf [MaxAckLen]byte
+	a := AckPacket{
+		Blocks: []SackBlock{{1, 2}, {4, 5}, {7, 8}, {10, 11}, {13, 14}, {16, 20}},
+	}
+	pkt := a.Encode(buf[:])
+	var got AckPacket
+	if !DecodeAck(pkt, &got) {
+		t.Fatal("decode failed")
+	}
+	if len(got.Blocks) != MaxSackBlocks {
+		t.Fatalf("got %d blocks want %d", len(got.Blocks), MaxSackBlocks)
+	}
+	// The highest blocks must survive — RACK keys off the top sequence.
+	if got.Blocks[MaxSackBlocks-1] != (SackBlock{16, 20}) || got.Blocks[0] != (SackBlock{7, 8}) {
+		t.Fatalf("wrong blocks kept: %+v", got.Blocks)
+	}
+}
+
+func TestDecodeAckRejectsMalformed(t *testing.T) {
+	var got AckPacket
+	if DecodeAck([]byte{typeAck, 0}, &got) {
+		t.Fatal("truncated ack decoded")
+	}
+	var buf [MaxAckLen]byte
+	a := AckPacket{Blocks: []SackBlock{{1, 2}}}
+	pkt := append([]byte(nil), a.Encode(buf[:])...)
+	pkt[1] = MaxSackBlocks + 1 // block count out of range
+	if DecodeAck(pkt, &got) {
+		t.Fatal("over-count ack decoded")
+	}
+	pkt[1] = 2 // claims more blocks than bytes present
+	if DecodeAck(pkt, &got) {
+		t.Fatal("short-block ack decoded")
+	}
+}
+
+func TestMixSeed(t *testing.T) {
+	if MixSeed(42, 7) != MixSeed(42, 7) {
+		t.Fatal("not deterministic")
+	}
+	if MixSeed(42, 7) == MixSeed(42, 8) || MixSeed(42, 7) == MixSeed(43, 7) {
+		t.Fatal("streams not decorrelated")
+	}
+	for s := int64(0); s < 100; s++ {
+		if v := MixSeed(s, s*31); v <= 0 {
+			t.Fatalf("MixSeed(%d) = %d, want positive", s, v)
+		}
+	}
+}
+
+func TestPacerAccrualAndDelay(t *testing.T) {
+	p := pacer{cap: 12000}
+	p.reset(0)
+	p.advance(0.001, 1e6) // 1 MB/s for 1 ms = 1000 bytes
+	if p.take(1200) {
+		t.Fatal("took more tokens than accrued")
+	}
+	if d := p.delay(1200, 1e6); math.Abs(d-200e-6) > 1e-9 {
+		t.Fatalf("delay %.9f want 200µs", d)
+	}
+	p.advance(0.002, 1e6)
+	if !p.take(1200) {
+		t.Fatal("tokens should be available after 2 ms")
+	}
+	// The bucket caps accumulation: a long sleep cannot build an
+	// unbounded burst.
+	p.advance(10, 1e6)
+	if p.tokens != p.cap {
+		t.Fatalf("tokens %.0f want cap %.0f", p.tokens, p.cap)
+	}
+	// Infinite/huge rates disable pacing entirely.
+	p2 := pacer{cap: 5000}
+	p2.advance(0, math.Inf(1))
+	if !p2.take(4999) || p2.delay(5000, math.Inf(1)) != 0 {
+		t.Fatal("infinite rate should fill the bucket and never delay")
+	}
+	// Time never runs backwards through the bucket.
+	p3 := pacer{cap: 5000}
+	p3.reset(1)
+	p3.advance(0.5, 1e6)
+	if p3.tokens != 0 {
+		t.Fatalf("backwards advance accrued %v tokens", p3.tokens)
+	}
+}

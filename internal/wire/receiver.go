@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ReceiverStats is a snapshot of the receive side.
+type ReceiverStats struct {
+	Pkts      int64
+	Bytes     int64
+	Dups      int64
+	AcksSent  int64
+	HighestRx int64 // highest sequence seen
+	CumAck    int64
+}
+
+// Receiver is the ack-generating endpoint: it tracks received
+// sequences as a cumulative ack plus SACK ranges and answers every
+// data packet with an ack, giving the sender the per-packet ack clock
+// the controllers' monitor machinery expects.
+type Receiver struct {
+	// Conn is the unconnected listening socket; acks go back to each
+	// data packet's source address, so the receiver works identically
+	// behind the impairment shim and on a bare two-process path.
+	Conn *net.UDPConn
+	// OnDeliver, when set, observes every arriving data packet (bytes,
+	// receiver-clock seconds). Called from the receive goroutine.
+	OnDeliver func(now float64, bytes int)
+
+	clock Clock
+
+	mu      sync.Mutex
+	cum     int64 // every seq < cum received
+	ranges  []SackBlock
+	pkts    int64
+	bytes   int64
+	dups    int64
+	acks    int64
+	highest int64
+
+	ackScratch AckPacket
+	ackBuf     [MaxAckLen]byte
+
+	started  bool
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// maxTrackedRanges bounds receiver SACK state under pathological
+// loss; overflow discards the lowest range, whose packets the sender
+// will eventually retire by RTO.
+const maxTrackedRanges = 64
+
+// Start launches the receive loop.
+func (r *Receiver) Start() error {
+	if r.started {
+		return errors.New("wire: receiver already started")
+	}
+	if r.Conn == nil {
+		return errors.New("wire: receiver needs Conn")
+	}
+	r.clock = NewClock()
+	r.highest = -1
+	r.done = make(chan struct{})
+	r.started = true
+	r.wg.Add(1)
+	go r.loop()
+	return nil
+}
+
+// Stop terminates the loop and closes the socket.
+func (r *Receiver) Stop() {
+	r.stopOnce.Do(func() {
+		close(r.done)
+		r.Conn.Close()
+	})
+	r.wg.Wait()
+}
+
+// Addr returns the listening address.
+func (r *Receiver) Addr() *net.UDPAddr { return r.Conn.LocalAddr().(*net.UDPAddr) }
+
+// Stats returns a snapshot of the receiver's counters.
+func (r *Receiver) Stats() ReceiverStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReceiverStats{
+		Pkts: r.pkts, Bytes: r.bytes, Dups: r.dups, AcksSent: r.acks,
+		HighestRx: r.highest, CumAck: r.cum,
+	}
+}
+
+func (r *Receiver) loop() {
+	defer r.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		select {
+		case <-r.done:
+			return
+		default:
+		}
+		r.Conn.SetReadDeadline(time.Now().Add(readTimeout))
+		n, src, err := r.Conn.ReadFromUDP(buf)
+		if err != nil {
+			if isTimeout(err) {
+				continue
+			}
+			return
+		}
+		h, ok := DecodeData(buf[:n])
+		if !ok {
+			continue
+		}
+		r.mu.Lock()
+		dup := !r.record(h.Seq)
+		if dup {
+			r.dups++
+		} else {
+			r.pkts++
+			r.bytes += int64(n)
+		}
+		if h.Seq > r.highest {
+			r.highest = h.Seq
+		}
+		ack := &r.ackScratch
+		ack.Seq = h.Seq
+		ack.SentAtEcho = h.SentAt
+		// Prefer the shim's emulated arrival stamp: RTTs then measure
+		// the emulated path, with host delivery jitter excluded. On a
+		// bare path (no shim) the receiver's own clock is the truth.
+		ack.RecvAt = h.Arrival
+		if ack.RecvAt == 0 {
+			ack.RecvAt = r.clock.WallNanos()
+		}
+		ack.CumAck = r.cum
+		ack.Blocks = append(ack.Blocks[:0], r.ranges...)
+		pkt := ack.Encode(r.ackBuf[:])
+		r.acks++
+		r.mu.Unlock()
+		if r.OnDeliver != nil && !dup {
+			r.OnDeliver(r.clock.Now(), n)
+		}
+		r.Conn.WriteToUDP(pkt, src)
+	}
+}
+
+// record merges seq into the cumulative-ack/SACK state and reports
+// whether it was new. Called with the mutex held.
+func (r *Receiver) record(seq int64) bool {
+	if seq < r.cum {
+		return false
+	}
+	if seq == r.cum {
+		r.cum++
+		for len(r.ranges) > 0 && r.ranges[0].Start <= r.cum {
+			if r.ranges[0].End > r.cum {
+				r.cum = r.ranges[0].End
+			}
+			r.ranges = r.ranges[1:]
+		}
+		return true
+	}
+	// Out-of-order arrival: splice into the sorted disjoint ranges.
+	for i := range r.ranges {
+		bl := &r.ranges[i]
+		switch {
+		case seq >= bl.Start && seq < bl.End:
+			return false
+		case seq == bl.End:
+			bl.End++
+			if i+1 < len(r.ranges) && r.ranges[i+1].Start == bl.End {
+				bl.End = r.ranges[i+1].End
+				r.ranges = append(r.ranges[:i+1], r.ranges[i+2:]...)
+			}
+			return true
+		case seq == bl.Start-1:
+			bl.Start--
+			return true
+		case seq < bl.Start:
+			r.ranges = append(r.ranges, SackBlock{})
+			copy(r.ranges[i+1:], r.ranges[i:])
+			r.ranges[i] = SackBlock{Start: seq, End: seq + 1}
+			return true
+		}
+	}
+	r.ranges = append(r.ranges, SackBlock{Start: seq, End: seq + 1})
+	if len(r.ranges) > maxTrackedRanges {
+		r.ranges = r.ranges[1:]
+	}
+	return true
+}

@@ -1,0 +1,80 @@
+package wire
+
+import "testing"
+
+// rec drives the receiver's SACK tracker directly; ok is the expected
+// "new packet" result.
+func expectRecord(t *testing.T, r *Receiver, seq int64, ok bool) {
+	t.Helper()
+	if got := r.record(seq); got != ok {
+		t.Fatalf("record(%d) = %v want %v (cum=%d ranges=%v)", seq, got, ok, r.cum, r.ranges)
+	}
+}
+
+func TestReceiverRecordInOrder(t *testing.T) {
+	r := &Receiver{}
+	for i := int64(0); i < 5; i++ {
+		expectRecord(t, r, i, true)
+	}
+	if r.cum != 5 || len(r.ranges) != 0 {
+		t.Fatalf("cum=%d ranges=%v", r.cum, r.ranges)
+	}
+	expectRecord(t, r, 3, false) // retransmit below cum is a dup
+}
+
+func TestReceiverRecordGapAndFill(t *testing.T) {
+	r := &Receiver{}
+	expectRecord(t, r, 0, true)
+	expectRecord(t, r, 2, true) // hole at 1
+	if r.cum != 1 || len(r.ranges) != 1 || r.ranges[0] != (SackBlock{2, 3}) {
+		t.Fatalf("cum=%d ranges=%v", r.cum, r.ranges)
+	}
+	expectRecord(t, r, 2, false) // dup inside a range
+	expectRecord(t, r, 1, true)  // fill the hole: cum jumps past the range
+	if r.cum != 3 || len(r.ranges) != 0 {
+		t.Fatalf("after fill: cum=%d ranges=%v", r.cum, r.ranges)
+	}
+}
+
+func TestReceiverRecordMergesAdjacentRanges(t *testing.T) {
+	r := &Receiver{}
+	r.cum = 0
+	expectRecord(t, r, 5, true)
+	expectRecord(t, r, 7, true)
+	if len(r.ranges) != 2 {
+		t.Fatalf("ranges=%v", r.ranges)
+	}
+	expectRecord(t, r, 6, true) // bridges {5,6} and {7,8}
+	if len(r.ranges) != 1 || r.ranges[0] != (SackBlock{5, 8}) {
+		t.Fatalf("merge failed: %v", r.ranges)
+	}
+	expectRecord(t, r, 4, true) // extends {5,8} downward
+	if r.ranges[0] != (SackBlock{4, 8}) {
+		t.Fatalf("downward extend failed: %v", r.ranges)
+	}
+	expectRecord(t, r, 2, true) // new range below the existing one
+	if len(r.ranges) != 2 || r.ranges[0] != (SackBlock{2, 3}) {
+		t.Fatalf("insert-below failed: %v", r.ranges)
+	}
+	// Filling 0,1,3 collapses everything into cum.
+	expectRecord(t, r, 0, true)
+	expectRecord(t, r, 1, true)
+	expectRecord(t, r, 3, true)
+	if r.cum != 8 || len(r.ranges) != 0 {
+		t.Fatalf("final: cum=%d ranges=%v", r.cum, r.ranges)
+	}
+}
+
+func TestReceiverRecordOverflowDropsLowest(t *testing.T) {
+	r := &Receiver{}
+	// Every other sequence: maxTrackedRanges+1 disjoint singletons.
+	for i := 0; i <= maxTrackedRanges; i++ {
+		expectRecord(t, r, int64(2*i+2), true)
+	}
+	if len(r.ranges) != maxTrackedRanges {
+		t.Fatalf("len(ranges)=%d want %d", len(r.ranges), maxTrackedRanges)
+	}
+	if r.ranges[0].Start != 4 {
+		t.Fatalf("lowest range should have been discarded, got %v", r.ranges[0])
+	}
+}

@@ -1,0 +1,599 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"pccproteus/internal/netem"
+	"pccproteus/internal/trace"
+	"pccproteus/internal/transport"
+)
+
+// Conn is the datagram socket surface the sender needs. *net.UDPConn
+// (connected with net.DialUDP) satisfies it; tests substitute
+// in-process fakes.
+type Conn interface {
+	Write(b []byte) (int, error)
+	Read(b []byte) (int, error)
+	SetReadDeadline(t time.Time) error
+	Close() error
+}
+
+const (
+	dupAckThreshold = 3 // matches the simulated transport
+
+	// minSleep is the shortest pacing sleep worth issuing: below OS
+	// timer resolution a sleep is pure overhead, so the token bucket
+	// absorbs it and the next wake emits a train.
+	minSleep = 50 * time.Microsecond
+	// maxSleep bounds how long the send loop naps when blocked on the
+	// window or the app limit, so acks and RTOs are handled promptly.
+	maxSleep = time.Millisecond
+	// rtoCheckEvery throttles the timeout scan on the send path.
+	rtoCheckEvery = 0.010
+	// schedSlack is how far past one bucket depth the pacing schedule
+	// may trail the wall clock before an idle restart re-anchors it.
+	// Steady sending keeps the schedule within a bucket depth of the
+	// wall clock, so only a genuine stall (window- or app-limited for
+	// a quarter second) re-anchors; rate changes never do.
+	schedSlack = 0.25
+	// readTimeout is the receive loop's poll interval for shutdown.
+	readTimeout = 50 * time.Millisecond
+)
+
+// RTTSample is one acknowledged packet's RTT, timestamped on the
+// sender's clock so measurement windows can be cut afterwards.
+type RTTSample struct {
+	T   float64
+	RTT float64
+}
+
+// SenderStats is a consistent snapshot of the sender's counters.
+type SenderStats struct {
+	SentPkts   int64
+	SentBytes  int64
+	AckedPkts  int64
+	AckedBytes int64
+	LostPkts   int64
+	LostBytes  int64
+	Inflight   int
+	SRTT       float64
+	MinRTT     float64
+	RateMbps   float64 // controller target rate at snapshot time
+}
+
+// Sender drives one congestion-controlled flow over a datagram socket.
+// Configure the exported fields, then Start. Two goroutines run until
+// Stop: a token-bucket pacing loop and an ack receive loop; all
+// controller callbacks happen under one mutex, in real time, with the
+// same OnSend/OnAck/OnLoss semantics as the simulated transport.
+type Sender struct {
+	CC   transport.Controller
+	Conn Conn
+
+	// Limit, when positive, bounds the transfer (lost bytes are
+	// re-credited, as in the simulated transport). Zero streams
+	// indefinitely until Stop.
+	Limit int64
+	// Burst is the packet-train length per pacing wake (default
+	// transport.DefaultBurst).
+	Burst int
+	// PacketSize is the on-wire datagram size (default netem.MTU, so
+	// wire and sim account serialization identically).
+	PacketSize int
+	// RecordRTT retains every RTT sample with its timestamp.
+	RecordRTT bool
+	// Recorder, when non-nil, receives flight-recorder events for
+	// FlowID: RTT samples and declared losses from the datapath, plus
+	// whatever the controller emits through transport.TraceAware. The
+	// recorder is only ever touched under the sender's mutex.
+	Recorder *trace.Recorder
+	// FlowID tags trace events (default 1).
+	FlowID int
+
+	clock Clock
+	tr    trace.Tracer
+
+	mu       sync.Mutex
+	rtt      transport.RTTEstimator
+	pacer    pacer
+	unacked  []*wireRec
+	freelist []*wireRec
+	sp       transport.SentPacket // reused OnSend scratch
+	seq      int64
+	inflight int
+	launched int64
+	maxSack  int64
+
+	sentPkts   int64
+	sentBytes  int64
+	ackedPkts  int64
+	ackedBytes int64
+	lostPkts   int64
+	lostBytes  int64
+
+	lastRTOCheck float64
+	revBase      float64 // reverse-path delay calibrated at the first ack
+	revCal       bool
+	sched        float64 // next packet's scheduled send time
+	schedAnchor  bool    // sched has been anchored since the last idle
+	rttSamples   []RTTSample
+
+	sendBuf []byte
+	ackBuf  [MaxAckLen]byte
+	ack     AckPacket
+
+	started  bool
+	done     chan struct{} // closed by Stop
+	complete chan struct{} // closed when Limit is reached
+	compOnce sync.Once
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// wireRec is the sender-side record of one in-flight packet. sentAt is
+// the packet's scheduled (token-bucket) send time — the measurement
+// timebase; wallAt is the actual wall-clock emission time, used for
+// loss-detection and RTO aging, which must follow real elapsed time.
+type wireRec struct {
+	seq    int64
+	size   int
+	sentAt float64
+	wallAt float64
+	mi     int64
+	acked  bool
+	lost   bool
+}
+
+// Start validates configuration and launches the datapath goroutines.
+func (s *Sender) Start() error {
+	if s.started {
+		return errors.New("wire: sender already started")
+	}
+	if s.CC == nil || s.Conn == nil {
+		return errors.New("wire: sender needs CC and Conn")
+	}
+	if s.PacketSize <= 0 {
+		s.PacketSize = netem.MTU
+	}
+	if s.PacketSize < DataHeaderLen {
+		return errors.New("wire: packet size below header size")
+	}
+	if s.Burst <= 0 {
+		s.Burst = transport.DefaultBurst
+	}
+	if s.FlowID == 0 {
+		s.FlowID = 1
+	}
+	s.tr = s.Recorder.Tracer(s.FlowID) // nil Recorder yields NopTracer
+	if ta, ok := s.CC.(transport.TraceAware); ok {
+		ta.SetTracer(s.tr)
+	}
+	s.clock = NewClock()
+	s.sendBuf = make([]byte, s.PacketSize)
+	s.pacer.cap = float64(2 * s.Burst * s.PacketSize)
+	s.pacer.reset(0)
+	s.done = make(chan struct{})
+	s.complete = make(chan struct{})
+	s.started = true
+	s.wg.Add(2)
+	go s.sendLoop()
+	go s.recvLoop()
+	return nil
+}
+
+// Done is closed once a finite transfer (Limit > 0) is fully acked.
+func (s *Sender) Done() <-chan struct{} { return s.complete }
+
+// Stop terminates both loops and closes the socket. Safe to call more
+// than once and concurrently with completion.
+func (s *Sender) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.done)
+		s.Conn.Close()
+	})
+	s.wg.Wait()
+}
+
+// Clock exposes the sender's timebase (valid after Start) so harnesses
+// can timestamp their own samples on the same axis.
+func (s *Sender) Clock() Clock { return s.clock }
+
+// Stats returns a snapshot of the sender's counters.
+func (s *Sender) Stats() SenderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SenderStats{
+		SentPkts: s.sentPkts, SentBytes: s.sentBytes,
+		AckedPkts: s.ackedPkts, AckedBytes: s.ackedBytes,
+		LostPkts: s.lostPkts, LostBytes: s.lostBytes,
+		Inflight: s.inflight,
+		SRTT:     s.rtt.SRTT(), MinRTT: s.rtt.MinRTT(),
+		RateMbps: s.CC.PacingRate() * 8 / 1e6,
+	}
+}
+
+// RTTSamples returns the retained samples (RecordRTT must be set).
+// The returned slice is a copy and safe to use while the flow runs.
+func (s *Sender) RTTSamples() []RTTSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]RTTSample(nil), s.rttSamples...)
+}
+
+// --- send path -------------------------------------------------------
+
+func (s *Sender) sendLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		s.mu.Lock()
+		now := s.clock.Now()
+		if now-s.lastRTOCheck >= rtoCheckEvery {
+			s.lastRTOCheck = now
+			s.checkRTO(now)
+		}
+		rate := s.pacingRate()
+		s.pacer.advance(now, rate)
+		// Trains are all-or-nothing: the loop waits until the bucket
+		// covers a full Burst, then drains every token it holds, like
+		// the simulated sender's multi-packet pacing events. Each packet
+		// is stamped not with the wall clock but with its *scheduled*
+		// send time, kept on a leaky-bucket timeline that advances by
+		// exactly size/rate per packet while the flow sends steadily.
+		// Scheduled stamps are evenly spaced no matter how the OS timer
+		// jitters the wakes, so the timebase the receiver and impairment
+		// shim measure against is that of a perfectly paced sender. That
+		// determinism is what the controller's gradient regression
+		// needs: with wall stamps, wake jitter feeds the emulated
+		// bottleneck irregular arrivals whose genuine queueing variance
+		// reads as RTT trends the regression cannot tell from a forming
+		// queue. The schedule re-anchors at the current wake on flow
+		// start and after any idle much longer than the bucket depth —
+		// no back-credit, so a post-idle catch-up burst never carries
+		// stamps from the dead time. Between anchors the stamps track
+		// only the schedule, never the wall clock: because token accrual
+		// and schedule advance are backed by the same byte count, the
+		// schedule can run at most one bucket depth ahead of the wall
+		// clock, and a train drained in one wake carries stamps spread
+		// over the interval it was *due*, not the instant it happened
+		// to be emitted.
+		sent, gated := 0, false
+		if s.pacer.delay(s.trainBytes(), rate) == 0 {
+			finite := rate > 0 && rate <= maxFiniteRate
+			if !finite || !s.schedAnchor || now-s.sched > s.pacer.cap/rate+schedSlack {
+				s.sched = now
+				s.schedAnchor = true
+			}
+			for {
+				if s.limitReached() {
+					gated = true
+					break
+				}
+				size := s.nextSize()
+				if float64(s.inflight+size) > s.CC.CWnd() {
+					gated = true
+					break
+				}
+				if !s.pacer.take(size) {
+					break
+				}
+				virt := now
+				if finite {
+					virt = s.sched
+					s.sched += float64(size) / rate
+				}
+				if !s.emit(now, virt, size) {
+					s.mu.Unlock()
+					return // socket closed under us
+				}
+				sent++
+			}
+		}
+		var sleep time.Duration
+		if gated {
+			// Window- or limit-blocked: wake on the ack-poll cadence.
+			sleep = maxSleep
+		} else {
+			d := s.pacer.delay(s.trainBytes(), rate)
+			sleep = time.Duration(d * float64(time.Second))
+			if sleep > maxSleep {
+				sleep = maxSleep
+			}
+		}
+		s.mu.Unlock()
+		if sleep < minSleep {
+			sleep = minSleep
+		}
+		select {
+		case <-s.done:
+			return
+		case <-time.After(sleep):
+		}
+	}
+}
+
+// trainBytes returns the size of the next full pacing train: Burst
+// packets, or whatever remains of a finite transfer if that is less.
+func (s *Sender) trainBytes() int {
+	n := s.Burst * s.PacketSize
+	if s.Limit > 0 {
+		if rem := s.Limit - s.launched; rem < int64(n) {
+			n = int(rem)
+			if n < DataHeaderLen {
+				n = DataHeaderLen
+			}
+		}
+	}
+	return n
+}
+
+// nextSize returns the size of the next packet to send: full-size,
+// except the tail of a finite transfer (never below the header).
+func (s *Sender) nextSize() int {
+	size := s.PacketSize
+	if s.Limit > 0 {
+		if rem := s.Limit - s.launched; rem < int64(size) {
+			size = int(rem)
+			if size < DataHeaderLen {
+				size = DataHeaderLen
+			}
+		}
+	}
+	return size
+}
+
+func (s *Sender) limitReached() bool {
+	return s.Limit > 0 && s.launched >= s.Limit
+}
+
+// emit transmits one packet stamped with its scheduled send time virt
+// (<= now). It reports false on a permanent socket error. Called with
+// the mutex held.
+func (s *Sender) emit(now, virt float64, size int) bool {
+	s.sp = transport.SentPacket{Seq: s.seq, Size: size, SentAt: virt}
+	s.CC.OnSend(now, &s.sp)
+	rec := s.newRec()
+	rec.seq, rec.size, rec.sentAt, rec.wallAt, rec.mi = s.seq, size, virt, now, s.sp.MI
+	rec.acked, rec.lost = false, false
+	s.seq++
+	s.unacked = append(s.unacked, rec)
+	s.inflight += size
+	s.launched += int64(size)
+	s.sentPkts++
+	s.sentBytes += int64(size)
+	pkt := EncodeData(s.sendBuf, DataHeader{Seq: rec.seq, SentAt: s.clock.NanosAt(virt)}, size)
+	if _, err := s.Conn.Write(pkt); err != nil {
+		// A full socket buffer drops the datagram — a real loss the
+		// datapath will detect like any other. Only a closed socket
+		// ends the loop.
+		return !isClosed(err)
+	}
+	return true
+}
+
+// pacingRate mirrors the simulated transport's convention: an explicit
+// controller rate wins; window-based controllers (PacingRate 0) get
+// 1.25·cwnd/srtt once an RTT estimate exists, line rate before.
+func (s *Sender) pacingRate() float64 {
+	if r := s.CC.PacingRate(); r > 0 {
+		return r
+	}
+	if !s.rtt.Valid() {
+		return math.Inf(1)
+	}
+	cwnd := s.CC.CWnd()
+	if math.IsInf(cwnd, 1) {
+		return math.Inf(1)
+	}
+	return 1.25 * cwnd / s.rtt.SRTT()
+}
+
+// --- receive path ----------------------------------------------------
+
+func (s *Sender) recvLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, MaxAckLen+64)
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		s.Conn.SetReadDeadline(time.Now().Add(readTimeout))
+		n, err := s.Conn.Read(buf)
+		if err != nil {
+			if isTimeout(err) {
+				continue
+			}
+			return // socket closed
+		}
+		s.mu.Lock()
+		if DecodeAck(buf[:n], &s.ack) {
+			s.processAck(&s.ack)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// processAck applies one ack: newly covered packets produce OnAck
+// callbacks with RTT/OWD samples, then RACK-style loss detection runs.
+// Called with the mutex held.
+func (s *Sender) processAck(a *AckPacket) {
+	now := s.clock.Now()
+	if a.Seq > s.maxSack {
+		s.maxSack = a.Seq
+	}
+	if a.CumAck-1 > s.maxSack {
+		s.maxSack = a.CumAck - 1
+	}
+	for _, bl := range a.Blocks {
+		if bl.End-1 > s.maxSack {
+			s.maxSack = bl.End - 1
+		}
+	}
+	recvAt := s.clock.SecondsSince(a.RecvAt)
+	for _, rec := range s.unacked {
+		if rec.acked || rec.lost {
+			continue
+		}
+		if rec.seq >= a.CumAck && !a.Covers(rec.seq) {
+			if rec.seq > s.maxSack {
+				break // sorted by seq: nothing further is covered
+			}
+			continue
+		}
+		s.ackRec(rec, now, recvAt)
+	}
+	s.detectLosses(now)
+	s.prune()
+	if s.Limit > 0 && s.ackedBytes >= s.Limit {
+		s.compOnce.Do(func() { close(s.complete) })
+	}
+}
+
+// Covers reports whether seq falls in one of the ack's SACK blocks.
+func (a *AckPacket) Covers(seq int64) bool {
+	for _, bl := range a.Blocks {
+		if seq >= bl.Start && seq < bl.End {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Sender) ackRec(rec *wireRec, now, recvAt float64) {
+	rec.acked = true
+	s.inflight -= rec.size
+	s.ackedPkts++
+	s.ackedBytes += int64(rec.size)
+	// Timestamp-based RTT, in the style of TCP timestamps: the forward
+	// half is measured against the receiver's echoed arrival time, and
+	// the reverse half contributes a constant calibrated from the first
+	// ack rather than each ack's own relay jitter. The congestion
+	// signal — the bottleneck queue — lives entirely in the forward
+	// path, so this loses no real queueing while keeping ack-path timer
+	// noise out of the samples the controller's gradient regression
+	// consumes. The calibration is locked, not a running minimum: a
+	// minimum keeps drifting down as rarer scheduling luck is observed,
+	// and every step of that drift would read as an RTT trend. A fixed
+	// offset that is a millisecond off is invisible to the controller;
+	// a drifting one is not. Any fixed clock skew between the endpoints
+	// cancels out of the sum either way.
+	if !s.revCal {
+		s.revBase = now - recvAt
+		s.revCal = true
+	}
+	rtt := (recvAt - rec.sentAt) + s.revBase
+	if rtt < 0 {
+		rtt = 0
+	}
+	s.rtt.Update(rtt)
+	s.tr.RTTSample(now, rec.seq, rtt, s.rtt.SRTT(), s.ackedBytes, s.inflight)
+	if s.RecordRTT {
+		s.rttSamples = append(s.rttSamples, RTTSample{T: now, RTT: rtt})
+	}
+	s.CC.OnAck(transport.Ack{
+		Seq: rec.seq, Bytes: rec.size, SentAt: rec.sentAt, RecvAt: recvAt,
+		Now: now, RTT: rtt, OWD: recvAt - rec.sentAt, MI: rec.mi,
+		Inflight: s.inflight,
+	})
+}
+
+// detectLosses is the RACK-style rule shared with the simulated
+// transport: a packet dupAckThreshold behind the highest SACKed
+// sequence is declared lost only once it is also older than
+// srtt + reorder window, so real-path reordering does not manufacture
+// losses.
+func (s *Sender) detectLosses(now float64) {
+	window := s.rtt.SRTT() + s.reorderWindow()
+	for _, rec := range s.unacked {
+		if rec.seq > s.maxSack-dupAckThreshold {
+			break
+		}
+		if !rec.acked && !rec.lost && now-rec.wallAt > window {
+			s.markLost(rec, now, "declared")
+		}
+	}
+}
+
+func (s *Sender) reorderWindow() float64 {
+	w := 4 * s.rtt.RTTVar()
+	if w < 0.004 {
+		w = 0.004
+	}
+	return w
+}
+
+// checkRTO declares every outstanding packet older than the RTO lost —
+// the backstop when acks stop entirely. Called with the mutex held.
+func (s *Sender) checkRTO(now float64) {
+	rto := s.rtt.RTO()
+	for _, rec := range s.unacked {
+		if rec.acked || rec.lost {
+			continue
+		}
+		if now-rec.wallAt < rto {
+			break // sorted by send time: the rest are younger
+		}
+		s.markLost(rec, now, "rto")
+	}
+	s.prune()
+}
+
+func (s *Sender) markLost(rec *wireRec, now float64, reason string) {
+	rec.lost = true
+	s.inflight -= rec.size
+	s.lostPkts++
+	s.lostBytes += int64(rec.size)
+	s.tr.PacketDrop(now, rec.seq, rec.size, 0, reason)
+	if s.Limit > 0 {
+		s.launched -= int64(rec.size) // re-credit so a replacement goes out
+	}
+	s.CC.OnLoss(transport.Loss{
+		Seq: rec.seq, Bytes: rec.size, SentAt: rec.sentAt, Now: now,
+		MI: rec.mi, Inflight: s.inflight,
+	})
+}
+
+func (s *Sender) prune() {
+	i := 0
+	for i < len(s.unacked) && (s.unacked[i].acked || s.unacked[i].lost) {
+		s.freelist = append(s.freelist, s.unacked[i])
+		i++
+	}
+	if i > 0 {
+		n := copy(s.unacked, s.unacked[i:])
+		for j := n; j < len(s.unacked); j++ {
+			s.unacked[j] = nil
+		}
+		s.unacked = s.unacked[:n]
+	}
+}
+
+func (s *Sender) newRec() *wireRec {
+	if n := len(s.freelist); n > 0 {
+		rec := s.freelist[n-1]
+		s.freelist[n-1] = nil
+		s.freelist = s.freelist[:n-1]
+		return rec
+	}
+	return &wireRec{}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func isClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, os.ErrClosed)
+}

@@ -1,0 +1,99 @@
+// Package wire is the real-network datapath: it runs the same
+// congestion controllers the simulator drives — anything implementing
+// transport.Controller — over actual UDP sockets in real time. It is
+// the Pantheon-analogue deployment layer of the reproduction: the
+// controller code is byte-for-byte identical between the discrete-event
+// simulator and the wire, so matched scenarios can be cross-validated
+// (see exp.WireParity and `proteusbench -wire`).
+//
+// The datapath has four pieces:
+//
+//   - a compact binary packet format (packet.go): data packets carry a
+//     sequence number and a send timestamp; acks carry a cumulative ack,
+//     up to four SACK-style blocks, and echoed timestamps so the sender
+//     computes per-packet RTT and one-way delay without clock agreement
+//     beyond the host's own.
+//
+//   - a token-bucket pacer (pacer.go) that converts the controller's
+//     target rate into spaced multi-packet trains, absorbing OS timer
+//     granularity the same way Linux pacing offloads do.
+//
+//   - an ack-clocked sender (sender.go) and a SACK-tracking receiver
+//     (receiver.go): per-packet RTT samples, RACK-style loss declaration
+//     (dup-ack count plus a reordering time threshold) and an RTO
+//     backstop, all feeding the controller through the same OnSend /
+//     OnAck / OnLoss hooks the simulated transport uses — which is what
+//     routes wire measurements into the Monitor and noise-filter
+//     machinery of internal/core unchanged.
+//
+//   - an impairment shim (shim.go): an in-process UDP proxy that
+//     emulates a bottleneck (serialization at a configurable rate, a
+//     tail-drop byte queue, propagation delay, seeded jitter and random
+//     loss) on the loopback path, so wire experiments are reproducible
+//     on any machine without root or tc/netem privileges.
+//
+// Concurrency model: each Sender runs two goroutines (a pacing send
+// loop and an ack receive loop) serialized by one mutex, so controllers
+// — which are not thread-safe — only ever see single-threaded calls.
+// The per-packet hot path is allocation-free: headers encode into a
+// reused buffer and sent-packet records come from a freelist (guarded
+// by BenchmarkPacerSend / BenchmarkAckProcess).
+package wire
+
+import "time"
+
+// Clock converts the host's monotonic clock into the float64 seconds
+// timeline controllers expect. The zero value is not usable; create
+// with NewClock. All times produced by one Clock share its epoch, so
+// they are small numbers (seconds since the flow started), matching
+// the magnitude the simulator feeds controllers.
+type Clock struct {
+	epoch time.Time
+}
+
+// NewClock returns a clock whose epoch is now.
+func NewClock() Clock { return Clock{epoch: time.Now()} }
+
+// Now returns monotonic seconds since the epoch.
+func (c Clock) Now() float64 { return time.Since(c.epoch).Seconds() }
+
+// WallNanos returns the wall-clock timestamp placed into packets. Wall
+// time is used on the wire (rather than the monotonic reading) so that
+// two proteusd processes on one host share a timebase for one-way
+// delay; RTT never crosses clock domains.
+func (c Clock) WallNanos() int64 { return time.Now().UnixNano() }
+
+// SecondsSince converts a wall-clock packet timestamp into this
+// clock's epoch-relative seconds.
+func (c Clock) SecondsSince(wallNanos int64) float64 {
+	return float64(wallNanos-c.epoch.UnixNano()) / 1e9
+}
+
+// NanosAt converts epoch-relative seconds back to a wall timestamp.
+func (c Clock) NanosAt(sec float64) int64 {
+	return c.epoch.UnixNano() + int64(sec*1e9)
+}
+
+// MixSeed derives an independent deterministic seed from (seed, n),
+// using the same splitmix64-style finalizer as the experiment
+// harness's per-trial seeding (exp.Options.seedFor): every wire
+// component (shim jitter, shim loss, demo workloads) draws from its
+// own stream so runs with the same -seed are reproducible and runs
+// with different seeds are decorrelated. The result is always
+// positive; a zero mix is remapped to 1 so it can seed math/rand.
+func MixSeed(seed, n int64) int64 {
+	x := uint64(n) + uint64(seed)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	s := int64(x)
+	if s < 0 {
+		s = -s
+	}
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
