@@ -8,6 +8,7 @@
 //	proteusbench -fig 8 -trials 1       # heavy sweep, single trial
 //	proteusbench -fig all -fast -jobs 4 # four figures in parallel
 //	proteusbench -fig 14 -fast -trace /tmp/t -trace-events mi,rate,drop
+//	proteusbench -chaos -fast           # cross-world fault replay (real time)
 //
 // Figure ids: 2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,
 // plus "ablation", "equilibrium", and the §7.2 extension "lte".
@@ -57,12 +58,20 @@ func main() {
 	huntOut := flag.String("hunt-out", "", "write the minimized counterexample JSON here (with -hunt)")
 	replay := flag.String("replay", "", "re-verify a counterexample replay file instead of running figures")
 	wireMode := flag.Bool("wire", false, "run the sim-vs-wire parity table (real UDP loopback, real time) instead of figures; with -replay, replay the counterexample through the wire shim")
+	chaosMode := flag.Bool("chaos", false, "replay the chaos fault plan through the simulator and the real UDP shim and compare survival + fault attribution (real time)")
 	wireProtos := flag.String("wire-protos", "proteus-p,proteus-s,proteus-h", "comma-separated protocols for -wire")
 	wireDur := flag.Float64("wire-dur", 0, "seconds per -wire run (0 = 12, or 8 with -fast)")
 	wireMbps := flag.Float64("wire-mbps", 20, "bottleneck capacity for -wire")
 	wireRTT := flag.Float64("wire-rtt", 0.040, "base RTT for -wire, seconds")
 	flag.Parse()
 
+	if *chaosMode {
+		if err := runChaosSoak(os.Stdout, *wireProtos, *wireDur, *wireMbps, *wireRTT, *seed, *fast); err != nil {
+			fmt.Fprintf(os.Stderr, "proteusbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *wireMode && *replay == "" {
 		if err := runWireParity(os.Stdout, *wireProtos, *wireDur, *wireMbps, *wireRTT, *seed, *fast); err != nil {
 			fmt.Fprintf(os.Stderr, "proteusbench: %v\n", err)

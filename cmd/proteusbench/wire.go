@@ -42,6 +42,40 @@ func runWireParity(w io.Writer, protos string, dur, mbps, rtt float64, seed int6
 	return nil
 }
 
+// runChaosSoak replays the default (or a scaled) chaos fault plan
+// through both worlds — the simulator link and the real UDP shim — and
+// prints the survival/attribution comparison. Runs in real time:
+// expect about one -wire-dur per protocol.
+func runChaosSoak(w io.Writer, protos string, dur, mbps, rtt float64, seed int64, fast bool) error {
+	if dur <= 0 {
+		dur = 16
+		if fast {
+			dur = 10
+		}
+	}
+	var list []string
+	for _, p := range strings.Split(protos, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			list = append(list, p)
+		}
+	}
+	res, err := exp.ChaosSoak(exp.ChaosSoakOptions{
+		Protos:   list,
+		Mbps:     mbps,
+		RTT:      rtt,
+		Duration: dur,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, res.Render())
+	if !res.AllPass() {
+		return fmt.Errorf("chaos soak failed: survival or attribution mismatch between worlds")
+	}
+	return nil
+}
+
 // runWireReplay re-executes a counterexample's impairment schedule on
 // the wire shim and checks the wire invariants.
 func runWireReplay(w io.Writer, path string) error {

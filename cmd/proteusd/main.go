@@ -68,25 +68,66 @@ func usage() {
 run "proteusd <mode> -h" for the mode's flags`)
 }
 
+// listenUDPRetry binds the address, retrying transient socket errors
+// with exponential backoff (100 ms doubling, 6 attempts) so a daemon
+// restarting into a lingering port wins the race instead of dying.
+func listenUDPRetry(addr *net.UDPAddr) (*net.UDPConn, error) {
+	var err error
+	backoff := 100 * time.Millisecond
+	for attempt := 0; attempt < 6; attempt++ {
+		if attempt > 0 {
+			fmt.Fprintf(os.Stderr, "proteusd: bind %s: %v — retrying in %v\n", addr, err, backoff)
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		var conn *net.UDPConn
+		if conn, err = net.ListenUDP("udp", addr); err == nil {
+			return conn, nil
+		}
+	}
+	return nil, fmt.Errorf("bind %s: %w", addr, err)
+}
+
+// dialUDPRetry connects to the destination with the same backoff
+// policy as listenUDPRetry.
+func dialUDPRetry(dst *net.UDPAddr) (*net.UDPConn, error) {
+	var err error
+	backoff := 100 * time.Millisecond
+	for attempt := 0; attempt < 6; attempt++ {
+		if attempt > 0 {
+			fmt.Fprintf(os.Stderr, "proteusd: dial %s: %v — retrying in %v\n", dst, err, backoff)
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		var conn *net.UDPConn
+		if conn, err = net.DialUDP("udp", nil, dst); err == nil {
+			return conn, nil
+		}
+	}
+	return nil, fmt.Errorf("dial %s: %w", dst, err)
+}
+
 // runRecv listens for the data stream and prints a per-second line of
 // receive-side counters until interrupted.
 func runRecv(args []string) error {
 	fs := flag.NewFlagSet("recv", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:9741", "UDP address to listen on")
 	quiet := fs.Bool("quiet", false, "suppress per-second stats")
+	idle := fs.Float64("idle", 60, "evict a flow after this many seconds without packets (0 = default)")
+	maxFlows := fs.Int("max-flows", 0, "flow-state cap; stalest flow is evicted at the cap (0 = default)")
 	fs.Parse(args)
 
 	addr, err := net.ResolveUDPAddr("udp", *listen)
 	if err != nil {
 		return err
 	}
-	conn, err := net.ListenUDP("udp", addr)
+	conn, err := listenUDPRetry(addr)
 	if err != nil {
 		return err
 	}
 	conn.SetReadBuffer(1 << 21)
 	conn.SetWriteBuffer(1 << 21)
-	recv := &wire.Receiver{Conn: conn}
+	recv := &wire.Receiver{Conn: conn, IdleTimeout: *idle, MaxFlows: *maxFlows}
 	if err := recv.Start(); err != nil {
 		return err
 	}
@@ -102,8 +143,8 @@ func runRecv(args []string) error {
 		select {
 		case <-sig:
 			st := recv.Stats()
-			fmt.Printf("total: pkts=%d bytes=%d dups=%d acks=%d cum=%d\n",
-				st.Pkts, st.Bytes, st.Dups, st.AcksSent, st.CumAck)
+			fmt.Printf("total: pkts=%d bytes=%d dups=%d acks=%d cum=%d flows=%d evicted=%d bad=%d\n",
+				st.Pkts, st.Bytes, st.Dups, st.AcksSent, st.CumAck, st.Flows, st.Evicted, st.BadPkts)
 			return nil
 		case <-tick.C:
 			st := recv.Stats()
@@ -126,6 +167,7 @@ func runSend(args []string) error {
 	duration := fs.Float64("duration", 10, "seconds to run (0 = until interrupted)")
 	seed := fs.Int64("seed", 1, "controller RNG seed")
 	quiet := fs.Bool("quiet", false, "suppress per-second stats")
+	drain := fs.Duration("drain", 2*time.Second, "on SIGINT/SIGTERM, wait up to this long for in-flight packets to be acked before exiting")
 	shimFlags := newShimFlags(fs)
 	fs.Parse(args)
 
@@ -151,7 +193,7 @@ func runSend(args []string) error {
 		fmt.Printf("proteusd send: shim %s at %s\n", shimFlags.describe(), dst)
 	}
 
-	conn, err := net.DialUDP("udp", nil, dst)
+	conn, err := dialUDPRetry(dst)
 	if err != nil {
 		return err
 	}
@@ -177,6 +219,7 @@ func runSend(args []string) error {
 	for {
 		select {
 		case <-sig:
+			gracefulDrain(snd, sig, *drain)
 			printSendTotal(snd.Stats())
 			return nil
 		case <-tick.C:
@@ -188,10 +231,31 @@ func runSend(args []string) error {
 			}
 			last = st
 			if *duration > 0 && !time.Now().Before(deadline) {
-				printSendTotal(st)
+				gracefulDrain(snd, sig, *drain)
+				printSendTotal(snd.Stats())
 				return nil
 			}
 		}
+	}
+}
+
+// gracefulDrain waits for the sender's in-flight packets to be acked
+// (bounded by timeout) so shutdown doesn't strand a window of data. A
+// second signal aborts the wait immediately.
+func gracefulDrain(snd *wire.Sender, sig chan os.Signal, timeout time.Duration) {
+	if timeout <= 0 || snd.Stats().Inflight == 0 {
+		return
+	}
+	fmt.Printf("proteusd send: draining %d in-flight bytes (signal again to abort)\n", snd.Stats().Inflight)
+	done := make(chan bool, 1)
+	go func() { done <- snd.Drain(timeout) }()
+	select {
+	case ok := <-done:
+		if !ok {
+			fmt.Println("proteusd send: drain timed out")
+		}
+	case <-sig:
+		fmt.Println("proteusd send: drain aborted")
 	}
 }
 

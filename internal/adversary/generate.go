@@ -39,6 +39,11 @@ func randomSegment(rng *rand.Rand, sc Scenario) Segment {
 	case KindFlow:
 		g.Dur = uniform(rng, minFlowDur, maxFlowDur)
 		g.Proto = CompetitorProtos[rng.Intn(len(CompetitorProtos))]
+	case KindBlackout, KindAckBlackout:
+		g.Dur = uniform(rng, minSegDur, maxBlackoutDur)
+	case KindCorrupt, KindDuplicate:
+		g.Dur = uniform(rng, minSegDur, maxSegDur)
+		g.Value = uniform(rng, minFaultProb, maxFaultProb)
 	}
 	return g
 }

@@ -224,6 +224,12 @@ func (progressChecker) Check(rc *RunContext) Verdict {
 	sc := rc.Scenario
 	v := Verdict{Margin: 1}
 	for lo := int(sc.Warmup); lo+progressWin <= len(rc.TargetMbps); lo += progressWin / 2 {
+		// A window a blackout touches (plus the watchdog's settling
+		// time) is excused: the path was destroyed, and not sending is
+		// the survival machinery working, not a stall.
+		if rc.Schedule.blackoutOverlaps(float64(lo), float64(lo+progressWin)) {
+			continue
+		}
 		tput := meanOver(rc.TargetMbps, lo, lo+progressWin)
 		m := clamp(tput/progressFloor-1, -1, 1)
 		if m < v.Margin {

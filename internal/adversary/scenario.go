@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"pccproteus/internal/chaos"
 	"pccproteus/internal/core"
 	"pccproteus/internal/exp"
 	"pccproteus/internal/netem"
@@ -160,18 +161,29 @@ func Run(sc Scenario, schedule Schedule, seed int64) *RunContext {
 	} else {
 		cc = exp.NewController(s, sc.Proto)
 	}
+	// Fault segments replay through the chaos model, and only then do
+	// the senders run with the survival machinery armed: fault-free
+	// schedules stay bit-identical to runs from before the chaos
+	// subsystem existed, which keeps the golden counterexamples valid.
+	faultPlan, hasFaults := schedule.FaultPlan()
+
 	target := transport.NewSender(1, path, cc)
 	target.Burst = exp.BurstFor(sc.Proto)
+	target.Survival = hasFaults
 	target.Start()
 
 	var competitors []*transport.Sender
 	schedule.apply(s, sc, link, func(i int, g Segment) func() {
 		snd := transport.NewSender(2+i, path, exp.NewController(s, g.Proto))
 		snd.Burst = exp.BurstFor(g.Proto)
+		snd.Survival = hasFaults
 		snd.Start()
 		competitors = append(competitors, snd)
 		return snd.Stop
 	})
+	if hasFaults {
+		chaos.ApplySim(s, link, path, faultPlan, sc.Duration)
+	}
 
 	n := int(math.Ceil(sc.Duration))
 	rc := &RunContext{

@@ -1,9 +1,11 @@
 // Package adversary is the guided adversarial stress-testing subsystem:
 // it hunts for network schedules — composed sequences of bandwidth steps
-// and oscillations, delay spikes, loss bursts, queue resizes, and
-// competing-flow churn — under which a congestion controller violates a
-// behavioral invariant (rate boundedness, forward progress, scavenger
-// yielding, post-perturbation recovery, numeric sanity).
+// and oscillations, delay spikes, loss bursts, queue resizes,
+// competing-flow churn, and chaos-model faults (blackouts, ack-path
+// blackouts, corruption, duplication) — under which a congestion
+// controller violates a behavioral invariant (rate boundedness, forward
+// progress, scavenger yielding, post-perturbation recovery, numeric
+// sanity).
 //
 // The pieces fit together as a property-based fuzzer for transport
 // behavior, in the spirit of CC-Fuzz: a seeded schedule generator
@@ -25,6 +27,7 @@ import (
 	"sort"
 	"strings"
 
+	"pccproteus/internal/chaos"
 	"pccproteus/internal/netem"
 	"pccproteus/internal/sim"
 )
@@ -50,10 +53,39 @@ const (
 	// KindFlow runs a competing flow of protocol Proto from At for Dur
 	// seconds.
 	KindFlow = "flow"
+
+	// Fault segments: these name chaos-model faults (internal/chaos)
+	// rather than link-parameter perturbations, and are applied through
+	// chaos.ApplySim so the identical plan can replay on the wire shim.
+	// Their kind strings equal the chaos.Kind strings so a schedule's
+	// fault subset converts to a chaos.Plan by name.
+
+	// KindBlackout destroys every data packet (and, implied, every ack)
+	// for Dur seconds.
+	KindBlackout = string(chaos.KindBlackout)
+	// KindAckBlackout destroys only the ack path for Dur seconds.
+	KindAckBlackout = string(chaos.KindAckBlackout)
+	// KindCorrupt damages each delivered data packet with probability
+	// Value for Dur seconds.
+	KindCorrupt = string(chaos.KindCorrupt)
+	// KindDuplicate delivers an extra copy of each data packet with
+	// probability Value for Dur seconds.
+	KindDuplicate = string(chaos.KindDuplicate)
 )
 
 // segmentKinds lists every kind in generation order.
-var segmentKinds = []string{KindBWStep, KindBWOsc, KindDelaySpike, KindLossBurst, KindQueueResize, KindFlow}
+var segmentKinds = []string{KindBWStep, KindBWOsc, KindDelaySpike, KindLossBurst, KindQueueResize, KindFlow,
+	KindBlackout, KindAckBlackout, KindCorrupt, KindDuplicate}
+
+// isFaultKind reports whether the kind is a chaos-model fault (applied
+// via chaos.ApplySim) rather than a link-parameter perturbation.
+func isFaultKind(kind string) bool {
+	switch kind {
+	case KindBlackout, KindAckBlackout, KindCorrupt, KindDuplicate:
+		return true
+	}
+	return false
+}
 
 // Parameter bounds. Schedules are clamped into these before every run so
 // that mutation and shrinking can never drive the emulation outside the
@@ -74,6 +106,14 @@ const (
 	maxLossBurst   = 0.4
 	minQueueFactor = 0.1
 	maxQueueFactor = 4.0
+
+	// Fault-segment bounds: blackouts are kept short enough that the
+	// recovery invariant still has a run to judge, and corruption /
+	// duplication probabilities stay well inside the chaos model's own
+	// clamp (chaos.MaxFaultProb).
+	maxBlackoutDur = 4.0
+	minFaultProb   = 0.01
+	maxFaultProb   = 0.3
 
 	// Absolute floors the emulation never goes below, whatever the
 	// composition of active segments.
@@ -119,6 +159,10 @@ func (g Segment) String() string {
 		return fmt.Sprintf("queue-resize[%.2f,%.2f)x%.3f", g.At, g.end(), g.Factor)
 	case KindFlow:
 		return fmt.Sprintf("flow[%.2f,%.2f)%s", g.At, g.end(), g.Proto)
+	case KindBlackout, KindAckBlackout:
+		return fmt.Sprintf("%s[%.2f,%.2f)", g.Kind, g.At, g.end())
+	case KindCorrupt, KindDuplicate:
+		return fmt.Sprintf("%s[%.2f,%.2f)p=%.3f", g.Kind, g.At, g.end(), g.Value)
 	}
 	return "segment(" + g.Kind + ")"
 }
@@ -215,6 +259,12 @@ func clampSegment(sc Scenario, g Segment) (Segment, bool) {
 			g.Proto = CompetitorProtos[0]
 		}
 		g.Factor, g.Value = 0, 0
+	case KindBlackout, KindAckBlackout:
+		g.Dur = clamp(g.Dur, minSegDur, maxBlackoutDur)
+		g.Factor, g.Value, g.Proto = 0, 0, ""
+	case KindCorrupt, KindDuplicate:
+		g.Value = clamp(g.Value, minFaultProb, maxFaultProb)
+		g.Factor, g.Proto = 0, ""
 	default:
 		return g, false
 	}
@@ -312,6 +362,48 @@ func (s Schedule) QueueCapAt(sc Scenario, t float64) int {
 	return b
 }
 
+// FaultPlan extracts the schedule's fault segments as a canonical
+// chaos plan, and reports whether there were any. The plan replays
+// identically through chaos.ApplySim (simulator) and the wire shim's
+// chaos executor, which is what lets a fault counterexample be
+// re-verified in both worlds.
+func (s Schedule) FaultPlan() (chaos.Plan, bool) {
+	var p chaos.Plan
+	for _, g := range s.Segments {
+		if !isFaultKind(g.Kind) {
+			continue
+		}
+		p.Faults = append(p.Faults, chaos.Fault{
+			Kind:  chaos.Kind(g.Kind),
+			At:    g.At,
+			Dur:   g.Dur,
+			Value: g.Value,
+		})
+	}
+	return p.Canonical(), len(p.Faults) > 0
+}
+
+// blackoutSettle is the grace the progress invariant grants after a
+// blackout ends: the sender's watchdog must notice the path healed
+// (probe cadence) and the RTO ladder unwind before throughput counts
+// again.
+const blackoutSettle = 3.0
+
+// blackoutOverlaps reports whether a blackout or ack-path blackout —
+// including its post-heal settling time — overlaps the window [a, b).
+// Stalling while the path is destroyed is survival, not a bug.
+func (s Schedule) blackoutOverlaps(a, b float64) bool {
+	for _, g := range s.Segments {
+		if g.Kind != KindBlackout && g.Kind != KindAckBlackout {
+			continue
+		}
+		if g.At < b && g.end()+blackoutSettle > a {
+			return true
+		}
+	}
+	return false
+}
+
 // quietAfter returns the time after which no segment is active (the
 // recovery invariant measures from here), floored at the warmup.
 func (s Schedule) quietAfter(sc Scenario) float64 {
@@ -353,6 +445,9 @@ func (s Schedule) apply(sm *sim.Sim, sc Scenario, link *netem.Link, spawnFlow fu
 	}
 	flowIdx := 0
 	for _, g := range s.Segments {
+		if isFaultKind(g.Kind) {
+			continue // applied separately via chaos.ApplySim
+		}
 		if g.Kind == KindFlow {
 			i := flowIdx
 			seg := g

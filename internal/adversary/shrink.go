@@ -64,7 +64,8 @@ func Shrink(ev *evaluator, s Schedule, target string, budget int) (Schedule, int
 			switch {
 			case g.Kind == KindBWStep || g.Kind == KindBWOsc || g.Kind == KindQueueResize:
 				c.Segments[i].Factor = round3(1 + (g.Factor-1)/2)
-			case g.Kind == KindDelaySpike || g.Kind == KindLossBurst:
+			case g.Kind == KindDelaySpike || g.Kind == KindLossBurst ||
+				g.Kind == KindCorrupt || g.Kind == KindDuplicate:
 				c.Segments[i].Value = round3(g.Value / 2)
 			default:
 				continue

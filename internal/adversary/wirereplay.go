@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"pccproteus/internal/chaos"
 	"pccproteus/internal/core"
 	"pccproteus/internal/exp"
 	"pccproteus/internal/transport"
@@ -46,7 +47,8 @@ type WireReplay struct {
 	Scenario     Scenario
 	TimeScale    float64 // virtual seconds per wire second
 	Updates      []wire.ShimUpdate
-	SkippedFlows int // flow segments the single-flow wire path cannot run
+	FaultPlan    *chaos.Plan // fault segments on the compressed clock, nil if none
+	SkippedFlows int         // flow segments the single-flow wire path cannot run
 	Result       *wire.LoopbackResult
 	Verdicts     []Verdict
 	Violations   []Verdict
@@ -78,6 +80,9 @@ func WireSchedule(ce *Counterexample) (updates []wire.ShimUpdate, timeScale floa
 		if g.Kind == KindFlow {
 			skippedFlows++
 			continue
+		}
+		if isFaultKind(g.Kind) {
+			continue // replayed via the shim's chaos executor, not shim updates
 		}
 		add(g.At)
 		add(g.end())
@@ -117,6 +122,15 @@ func ReplayWire(ce *Counterexample) (*WireReplay, error) {
 		Scenario: sc, TimeScale: timeScale,
 		Updates: updates, SkippedFlows: skipped,
 	}
+	// Fault segments ride the same compressed clock as the shim updates:
+	// the schedule's chaos plan, scaled onto wire time, replays through
+	// the loopback harness's chaos executor.
+	var chaosPlan *chaos.Plan
+	if plan, ok := ce.Schedule.Canonical(sc).FaultPlan(); ok {
+		scaled := plan.Scale(timeScale)
+		chaosPlan = &scaled
+		w.FaultPlan = &scaled
+	}
 	newCC := func() transport.Controller {
 		rng := rand.New(rand.NewSource(wire.MixSeed(ce.Seed, 0x9a)))
 		if sc.Proto == exp.ProtoProteusH {
@@ -138,6 +152,7 @@ func ReplayWire(ce *Counterexample) (*WireReplay, error) {
 		Duration:    wireReplayDur,
 		MeasureFrom: sc.Warmup / timeScale,
 		Schedule:    updates,
+		Chaos:       chaosPlan,
 	})
 	if err != nil {
 		return nil, err
@@ -194,6 +209,9 @@ func (w *WireReplay) Render() string {
 	fmt.Fprintf(&b, "# Wire replay: %s, compressed ×%.1f onto %.0f s\n",
 		w.Scenario, w.TimeScale, wireReplayDur)
 	fmt.Fprintf(&b, "shim updates: %d", len(w.Updates))
+	if w.FaultPlan != nil {
+		fmt.Fprintf(&b, "  chaos faults: %d", len(w.FaultPlan.Faults))
+	}
 	if w.SkippedFlows > 0 {
 		fmt.Fprintf(&b, "  (skipped %d flow segment(s): wire path is single-flow)", w.SkippedFlows)
 	}

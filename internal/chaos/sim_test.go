@@ -1,0 +1,174 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"pccproteus/internal/cc/fixedrate"
+	"pccproteus/internal/chaos"
+	"pccproteus/internal/core"
+	"pccproteus/internal/netem"
+	"pccproteus/internal/sim"
+	"pccproteus/internal/trace"
+	"pccproteus/internal/transport"
+)
+
+func newChaosController(s *sim.Sim, mode string) transport.Controller {
+	switch mode {
+	case "proteus-p":
+		return core.NewProteusP(s.Rand())
+	case "proteus-s":
+		return core.NewProteusS(s.Rand())
+	case "proteus-h":
+		c, _ := core.NewProteusH(s.Rand())
+		return c
+	}
+	panic("unknown mode " + mode)
+}
+
+// TestBlackoutSurvivalSim is the acceptance-criterion gate in the
+// simulated world: on a 40 ms-RTT, 20 Mbps link, after a 2 s full
+// blackout each Proteus mode must re-attain >= 80% of its pre-blackout
+// throughput within 3 s of the path healing, with the watchdog keeping
+// sender state bounded during the outage.
+func TestBlackoutSurvivalSim(t *testing.T) {
+	for _, mode := range []string{"proteus-p", "proteus-s", "proteus-h"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			s := sim.New(42)
+			link := netem.NewLink(s, 20, 150_000, 0.020)
+			path := &netem.Path{Link: link, AckDelay: 0.020}
+			snd := transport.NewSender(1, path, newChaosController(s, mode))
+			snd.Survival = true
+
+			// Blackout [8,10): late enough that even the cautious
+			// scavenger ramp has meaningful throughput to lose.
+			plan := chaos.Plan{Faults: []chaos.Fault{{Kind: chaos.KindBlackout, At: 8, Dur: 2}}}
+			chaos.ApplySim(s, link, path, plan, 16)
+
+			// Per-second acked throughput, sampled on the virtual clock.
+			perSec := make([]float64, 16)
+			var prev int64
+			for sec := 1; sec <= 16; sec++ {
+				sec := sec
+				s.At(float64(sec), func() {
+					acked := snd.AckedBytes()
+					perSec[sec-1] = float64(acked-prev) * 8 / 1e6
+					prev = acked
+				})
+			}
+			var outstandingAtTrip, outstandingLate int
+			s.At(8.8, func() { outstandingAtTrip = snd.OutstandingPackets() })
+			s.At(9.9, func() { outstandingLate = snd.OutstandingPackets() })
+			var inOutageMid, inOutageAfter bool
+			s.At(9.5, func() { inOutageMid = snd.InOutage() })
+			s.At(12.0, func() { inOutageAfter = snd.InOutage() })
+
+			snd.Start()
+			s.Run(16)
+
+			pre := perSec[6]
+			if perSec[7] > pre {
+				pre = perSec[7] // best of seconds (6,8] before the cut
+			}
+			if pre < 2 {
+				t.Fatalf("%s: implausible pre-blackout throughput %.2f Mbps (perSec=%v)", mode, pre, perSec)
+			}
+			// The blackout's covering second must collapse.
+			if perSec[8] > 0.5 {
+				t.Errorf("%s: second 9 saw %.2f Mbps through a blackout", mode, perSec[8])
+			}
+			// Recovery: >= 80% of pre within 3 s of healing at t=10.
+			best := 0.0
+			for _, v := range perSec[10:13] {
+				if v > best {
+					best = v
+				}
+			}
+			if best < 0.8*pre {
+				t.Errorf("%s: post-heal best %.2f Mbps < 80%% of pre %.2f (perSec=%v)", mode, best, pre, perSec)
+			}
+			if snd.WatchdogTrips() != 1 || snd.WatchdogRecoveries() != 1 {
+				t.Errorf("%s: trips=%d recoveries=%d, want 1/1", mode, snd.WatchdogTrips(), snd.WatchdogRecoveries())
+			}
+			if !inOutageMid || inOutageAfter {
+				t.Errorf("%s: outage flag mid=%v after=%v, want true/false", mode, inOutageMid, inOutageAfter)
+			}
+			// No state growth during the outage: once the watchdog has
+			// tripped, only quarter-second probes are added while the RTO
+			// retires the pre-trip backlog — the record count must not
+			// grow beyond the trip-time backlog plus the probe budget.
+			if outstandingLate > outstandingAtTrip+8 {
+				t.Errorf("%s: unacked records grew during outage: %d -> %d", mode, outstandingAtTrip, outstandingLate)
+			}
+		})
+	}
+}
+
+// TestFaultAttributionConservation checks the netem accounting law
+// under a composite fault plan: after every in-flight event drains,
+// Delivered + LostRandom + Corrupted + Flushed = Enqueued + Duplicated,
+// with blackout drops attributed separately (FaultDrop, never queued).
+func TestFaultAttributionConservation(t *testing.T) {
+	s := sim.New(7)
+	link := netem.NewLink(s, 10, 100_000, 0.020)
+	link.LossProb = 0.01
+	path := &netem.Path{Link: link, AckDelay: 0.020}
+	snd := transport.NewSender(1, path, fixedrate.New(8))
+	snd.Survival = true
+	snd.Limit = 4 << 20
+
+	plan := chaos.Plan{Faults: []chaos.Fault{
+		{Kind: chaos.KindCorrupt, At: 0.5, Dur: 2, Value: 0.1},
+		{Kind: chaos.KindDuplicate, At: 1.0, Dur: 2, Value: 0.1},
+		{Kind: chaos.KindReorder, At: 0.5, Dur: 3, Value: 0.2, Delay: 0.03},
+		{Kind: chaos.KindBlackout, At: 3.5, Dur: 0.4},
+		{Kind: chaos.KindAckBlackout, At: 4.5, Dur: 0.3},
+		{Kind: chaos.KindPeerRestart, At: 5.2},
+	}}
+	chaos.ApplySim(s, link, path, plan, 30)
+	snd.Start()
+	s.Run(30)
+
+	st := link.Stats()
+	if st.Corrupted == 0 || st.Duplicated == 0 || st.Reordered == 0 || st.FaultDrop == 0 || st.Flushed == 0 {
+		t.Fatalf("every fault must leave attribution: %+v", st)
+	}
+	got := st.Delivered + st.LostRandom + st.Corrupted + st.Flushed
+	want := st.Enqueued + st.Duplicated
+	if got != want {
+		t.Fatalf("conservation violated: Delivered+LostRandom+Corrupted+Flushed=%d, Enqueued+Duplicated=%d (%+v)", got, want, st)
+	}
+	ps := path.Stats()
+	if ps.AckDropped == 0 {
+		t.Fatalf("ack blackout must attribute dropped acks: %+v", ps)
+	}
+}
+
+// TestApplySimEmitsFaultTrace verifies that fault transitions land on
+// the flight-recorder timeline with the chaos kind names.
+func TestApplySimEmitsFaultTrace(t *testing.T) {
+	s := sim.New(3)
+	rec := trace.NewRecorder(trace.Options{})
+	s.SetTrace(rec)
+	link := netem.NewLink(s, 10, 100_000, 0.020)
+	path := &netem.Path{Link: link, AckDelay: 0.020}
+	plan := chaos.Plan{Faults: []chaos.Fault{
+		{Kind: chaos.KindBlackout, At: 1, Dur: 1},
+		{Kind: chaos.KindPeerRestart, At: 2.5},
+	}}
+	chaos.ApplySim(s, link, path, plan, 10)
+	s.Run(10)
+
+	want := map[string]int{"blackout": 0, "peer-restart": 0}
+	for _, ev := range rec.Events(0) {
+		if ev.Kind == trace.KindFault {
+			want[ev.Note]++
+		}
+	}
+	if want["blackout"] != 2 { // activation + clearance
+		t.Errorf("blackout fault events = %d, want 2", want["blackout"])
+	}
+	if want["peer-restart"] != 1 {
+		t.Errorf("peer-restart fault events = %d, want 1", want["peer-restart"])
+	}
+}

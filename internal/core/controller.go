@@ -143,6 +143,8 @@ type Stats struct {
 	DecisionsDown  int64
 	ProbesRepeated int64
 	UtilitySwaps   int64
+	Outages        int64
+	Recoveries     int64
 }
 
 // Controller is the Proteus/Vivace congestion controller: a utility
@@ -286,6 +288,44 @@ func (c *Controller) OnAppPause(now float64) {
 func (c *Controller) OnAppResume(float64) {
 	c.paused = false
 	c.mon.current = nil // force a fresh MI on the next send
+}
+
+// OnOutage implements transport.OutageAware: the sender's stall
+// watchdog detected a path outage. Open monitor intervals are
+// discarded (their utility is meaningless) and the controller freezes —
+// no acks will arrive, so any decision made now would only encode the
+// outage itself into the gradient state.
+func (c *Controller) OnOutage(now float64) {
+	c.stats.Outages++
+	c.paused = true
+	c.stats.MIsDiscarded += c.mon.discardOpen()
+	c.abortDecisionState(now)
+	c.tr.ModeSwitch(now, "outage", c.rate)
+}
+
+// OnRecovery implements transport.OutageAware: the path healed. The
+// controller resumes from resumeRate — the rate that was actually
+// being delivered before the outage (bytes/sec; 0 keeps the current
+// rate) — with the gradient state reset, re-entering probing exactly
+// as after a utility swap. Without this, the loss flood from packets
+// sent into the outage would have rate-collapsed the gradient
+// machinery, and re-climbing from the floor takes many seconds the
+// recovery invariant does not allow.
+func (c *Controller) OnRecovery(now float64, resumeRate float64) {
+	c.stats.Recoveries++
+	c.paused = false
+	if resumeRate > 0 {
+		prev := c.rate
+		c.rate = c.clampRate(resumeRate * 8 / 1e6)
+		c.tr.RateChange(now, c.rate, prev, 0, 0, "recover")
+	}
+	c.dir = 0
+	c.amp = 0
+	c.omega = c.cfg.OmegaInit
+	c.startPrevSet = false
+	c.mon.current = nil // force a fresh MI on the next send
+	c.tr.ModeSwitch(now, "recover", c.rate)
+	c.enterProbing(now)
 }
 
 // abortDecisionState returns to probing from any half-made decision.

@@ -81,13 +81,21 @@ func (n SpikeNoise) Sample(rng *rand.Rand) float64 {
 	return d
 }
 
-// LinkStats aggregates link-level counters.
+// LinkStats aggregates link-level counters. Conservation laws (checked
+// by the property tests): offered = Enqueued + Dropped + FaultDrop,
+// and after the path drains Delivered + LostRandom + Corrupted +
+// Flushed = Enqueued + Duplicated.
 type LinkStats struct {
 	Enqueued   int64 // packets accepted into the queue
 	Dropped    int64 // packets tail-dropped
 	LostRandom int64 // packets destroyed by random loss
 	Delivered  int64 // packets handed to receivers
 	SentBytes  int64 // bytes serialized onto the wire
+	FaultDrop  int64 // packets destroyed by an injected blackout
+	Corrupted  int64 // packets destroyed in flight by injected corruption
+	Duplicated int64 // extra in-flight copies created by injected duplication
+	Reordered  int64 // packets released out of order by injected reordering
+	Flushed    int64 // in-flight packets discarded by a peer restart
 }
 
 // Link is a shared bottleneck: a FIFO byte queue drained at Rate, followed
@@ -102,9 +110,18 @@ type Link struct {
 	LossProb  float64 // random (non-congestion) loss probability
 	Jitter    Noise   // extra forward latency per packet (nil = none)
 
+	// Injected faults (driven by internal/chaos; all zero in a healthy
+	// run, in which case they cost nothing — not even an RNG draw).
+	Down         bool    // blackout: every offered packet is destroyed
+	CorruptProb  float64 // per-packet probability of in-flight corruption
+	DupProb      float64 // per-packet probability of a duplicate delivery
+	ReorderProb  float64 // per-packet probability of out-of-order release
+	ReorderDelay float64 // extra delay applied to reorder-selected packets
+
 	queueBytes  int
 	busyUntil   float64
 	lastArrival float64
+	epoch       uint64
 	stats       LinkStats
 }
 
@@ -116,6 +133,12 @@ func NewLink(s *sim.Sim, rateMbps float64, queueCapBytes int, propDelay float64)
 
 // Stats returns a copy of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
+
+// Flush models a peer restart: every packet currently in flight (sent
+// but not yet delivered) is discarded at its would-be delivery time and
+// counted as Flushed. Queue-occupancy accounting is unaffected — the
+// bytes still drain off the wire; only delivery is suppressed.
+func (l *Link) Flush() { l.epoch++ }
 
 // QueueBytes returns the current queue occupancy in bytes.
 func (l *Link) QueueBytes() int { return l.queueBytes }
@@ -141,16 +164,27 @@ func (l *Link) QueueDelay() float64 {
 // the link's own ring, flow 0).
 func (l *Link) Send(pkt *Packet, deliver func(p *Packet, arrival float64)) bool {
 	rec := l.Sim.Trace()
+	now := l.Sim.Now()
+	if l.Down {
+		// Blackout: the packet is offered to a dead path and vanishes
+		// before it reaches the queue, exactly as the wire shim drops
+		// it before its virtual-timeline accounting. The sender gets
+		// no synchronous feedback — loss is inferred by timeout.
+		l.stats.FaultDrop++
+		if rec.Enabled(trace.KindPacketDrop) {
+			rec.Tracer(pkt.FlowID).PacketDrop(now, pkt.Seq, pkt.Size, l.queueBytes, "blackout")
+		}
+		return true
+	}
 	if l.queueBytes+pkt.Size > l.QueueCap {
 		l.stats.Dropped++
 		if rec.Enabled(trace.KindPacketDrop) {
-			rec.Tracer(pkt.FlowID).PacketDrop(l.Sim.Now(), pkt.Seq, pkt.Size, l.queueBytes, "taildrop")
+			rec.Tracer(pkt.FlowID).PacketDrop(now, pkt.Seq, pkt.Size, l.queueBytes, "taildrop")
 		}
 		return false
 	}
 	l.queueBytes += pkt.Size
 	l.stats.Enqueued++
-	now := l.Sim.Now()
 	if rec.Enabled(trace.KindQueueDepth) {
 		rec.Tracer(0).QueueDepth(now, l.queueBytes, l.QueueDelay(), l.Rate)
 	}
@@ -165,16 +199,30 @@ func (l *Link) Send(pkt *Packet, deliver func(p *Packet, arrival float64)) bool 
 	if l.Jitter != nil {
 		jitter = l.Jitter.Sample(l.Sim.Rand())
 	}
+	// Fault draws come after the legacy draws, each gated on its
+	// probability, so a fault-free run consumes the RNG identically to
+	// one built before faults existed and stays bit-reproducible.
+	corrupt := l.CorruptProb > 0 && l.Sim.Rand().Float64() < l.CorruptProb
+	dup := l.DupProb > 0 && l.Sim.Rand().Float64() < l.DupProb
+	reorder := l.ReorderProb > 0 && l.Sim.Rand().Float64() < l.ReorderProb
 	arrival := txEnd + l.PropDelay + jitter
 	// Jitter models MAC-layer stalls (retransmissions, scheduling), which
 	// block the head of the line: packets behind a delayed one are
 	// delayed too, so delivery stays in order. Per-packet *reordering* by
 	// tens of milliseconds is not something wired or WiFi links do, and
-	// would manufacture phantom losses at the sender.
-	if arrival < l.lastArrival {
-		arrival = l.lastArrival
+	// would manufacture phantom losses at the sender — unless an injected
+	// reordering fault asks for exactly that, in which case the selected
+	// packet is held ReorderDelay extra and released out of order (it
+	// skips the clamp and does not advance the head-of-line marker).
+	if reorder {
+		l.stats.Reordered++
+		arrival += l.ReorderDelay
+	} else {
+		if arrival < l.lastArrival {
+			arrival = l.lastArrival
+		}
+		l.lastArrival = arrival
 	}
-	l.lastArrival = arrival
 	l.Sim.At(txEnd, func() {
 		l.queueBytes -= pkt.Size
 		l.stats.SentBytes += int64(pkt.Size)
@@ -186,10 +234,44 @@ func (l *Link) Send(pkt *Packet, deliver func(p *Packet, arrival float64)) bool 
 		}
 		return true
 	}
+	ep := l.epoch
 	l.Sim.At(arrival, func() {
+		if ep != l.epoch {
+			l.stats.Flushed++
+			if rec.Enabled(trace.KindPacketDrop) {
+				rec.Tracer(pkt.FlowID).PacketDrop(l.Sim.Now(), pkt.Seq, pkt.Size, l.queueBytes, "restart")
+			}
+			return
+		}
+		if corrupt {
+			// The bytes traversed the link but arrive damaged; the
+			// receiver's codec rejects them, so delivery never happens.
+			l.stats.Corrupted++
+			if rec.Enabled(trace.KindPacketDrop) {
+				rec.Tracer(pkt.FlowID).PacketDrop(l.Sim.Now(), pkt.Seq, pkt.Size, l.queueBytes, "corrupt")
+			}
+			return
+		}
 		l.stats.Delivered++
 		deliver(pkt, arrival)
 	})
+	if dup {
+		// A duplicate copy materializes in the network and arrives
+		// alongside the original (dup of a corrupted packet arrives
+		// clean — only the first copy was damaged). Counted at
+		// creation so the conservation law Delivered + LostRandom +
+		// Corrupted + Flushed = Enqueued + Duplicated holds even when
+		// a restart flushes the copy.
+		l.stats.Duplicated++
+		l.Sim.At(arrival, func() {
+			if ep != l.epoch {
+				l.stats.Flushed++
+				return
+			}
+			l.stats.Delivered++
+			deliver(pkt, arrival)
+		})
+	}
 	return true
 }
 
@@ -237,7 +319,44 @@ type Path struct {
 	AckJitter Noise
 	Batcher   *AckBatcher
 
+	// Injected faults (driven by internal/chaos).
+	AckDown     bool    // reverse-path blackout: acks emitted now vanish
+	StampOffset float64 // receiver clock-jump offset applied to arrival stamps
+
 	lastAckArrival float64
+	epoch          uint64
+	stats          PathStats
+}
+
+// PathStats counts reverse-path fault attribution.
+type PathStats struct {
+	AckDropped int64 // acks destroyed by an ack-path blackout
+	AckFlushed int64 // in-flight acks discarded by a peer restart
+}
+
+// Stats returns a copy of the reverse-path counters.
+func (p *Path) Stats() PathStats { return p.stats }
+
+// Flush models a peer restart on the reverse path: acks already in
+// flight toward the sender are discarded at their would-be arrival.
+func (p *Path) Flush() { p.epoch++ }
+
+// Epoch returns the current restart epoch; an ack scheduled for
+// delivery must capture it and discard itself (via NoteAckFlushed) if
+// the epoch has moved by its arrival time.
+func (p *Path) Epoch() uint64 { return p.epoch }
+
+// NoteAckFlushed records one in-flight ack discarded by a restart.
+func (p *Path) NoteAckFlushed() { p.stats.AckFlushed++ }
+
+// DropAck reports whether an ack emitted now is destroyed by an
+// ack-path blackout, counting the drop.
+func (p *Path) DropAck() bool {
+	if !p.AckDown {
+		return false
+	}
+	p.stats.AckDropped++
+	return true
 }
 
 // AckArrival computes when an ACK emitted by the receiver at recvTime

@@ -20,6 +20,7 @@ var fieldNames = [numKinds][4]string{
 	KindQueueDepth:    {"queue_bytes", "queue_delay", "link_bps", ""},
 	KindRTTSample:     {"rtt", "srtt", "acked_bytes", "inflight"},
 	KindModeSwitch:    {"value", "", "", ""},
+	KindFault:         {"active", "value", "", ""},
 }
 
 // kindHasSeq marks the kinds whose Seq field is meaningful (an MI id

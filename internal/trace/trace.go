@@ -48,6 +48,11 @@ const (
 	KindRTTSample
 	// KindModeSwitch is a controller mode/state/utility transition.
 	KindModeSwitch
+	// KindFault is a path-fault transition (blackout, corruption,
+	// restart — emitted by the chaos appliers) or a datapath survival
+	// event (stall-watchdog trip and recovery). Note carries the fault
+	// or event name; A is 1 on activation and 0 on clearing.
+	KindFault
 
 	numKinds
 )
@@ -60,6 +65,7 @@ var kindNames = [numKinds]string{
 	KindQueueDepth:    "queue",
 	KindRTTSample:     "rtt",
 	KindModeSwitch:    "mode",
+	KindFault:         "fault",
 }
 
 // String returns the short name used in exports and CLI flags.
@@ -107,7 +113,7 @@ func ParseKinds(s string) (Mask, error) {
 			}
 		}
 		if !found {
-			return 0, fmt.Errorf("trace: unknown event kind %q (have mi,rate,util,drop,queue,rtt,mode)", part)
+			return 0, fmt.Errorf("trace: unknown event kind %q (have mi,rate,util,drop,queue,rtt,mode,fault)", part)
 		}
 	}
 	return m, nil
@@ -384,4 +390,16 @@ func (t Tracer) ModeSwitch(now float64, mode string, value float64) {
 		return
 	}
 	t.ring.push(Event{T: now, Flow: t.flow, Kind: KindModeSwitch, A: value, Note: mode}, t.rec.cap)
+}
+
+// Fault records a path-fault transition or a survival-machinery event.
+// name is the fault kind ("blackout", "corrupt", ...) or the event
+// ("watchdog-trip", "watchdog-recover", "peer-restart"); active is 1 on
+// activation and 0 on clearing; value is kind-specific (probability,
+// clock offset, idle or outage seconds, resume rate).
+func (t Tracer) Fault(now float64, name string, active, value float64) {
+	if t.rec == nil || t.rec.mask&(1<<KindFault) == 0 {
+		return
+	}
+	t.ring.push(Event{T: now, Flow: t.flow, Kind: KindFault, A: active, B: value, Note: name}, t.rec.cap)
 }

@@ -16,6 +16,7 @@ func emitAll(tr Tracer) {
 	tr.QueueDepth(1.4, 30000, 0.004, 6.25e6)
 	tr.RTTSample(1.5, 102, 0.031, 0.030, 1_500_000, 187500)
 	tr.ModeSwitch(1.6, "probe_rtt", 1.0)
+	tr.Fault(1.7, "blackout", 1, 0)
 }
 
 // TestNopTracerZeroAlloc is the zero-cost guarantee: a disabled tracer
@@ -50,7 +51,7 @@ func TestRecorderCapturesAllKinds(t *testing.T) {
 		t.Fatalf("got %d events, want %d", len(evs), numKinds)
 	}
 	wantKinds := []Kind{KindMIDecision, KindRateChange, KindUtilitySample,
-		KindPacketDrop, KindQueueDepth, KindRTTSample, KindModeSwitch}
+		KindPacketDrop, KindQueueDepth, KindRTTSample, KindModeSwitch, KindFault}
 	for i, ev := range evs {
 		if ev.Kind != wantKinds[i] {
 			t.Errorf("event %d kind = %v, want %v", i, ev.Kind, wantKinds[i])

@@ -29,6 +29,7 @@ type SentPacket struct {
 	MI     int64
 	acked  bool
 	lost   bool
+	probe  bool // outage keep-alive: invisible to the controller
 }
 
 // Ack describes one acknowledgment delivered to the controller.
@@ -86,6 +87,20 @@ type Controller interface {
 type PauseAware interface {
 	OnAppPause(now float64)
 	OnAppResume(now float64)
+}
+
+// OutageAware is implemented by controllers that want the sender's
+// stall watchdog to freeze and restore them across a path outage.
+// OnOutage must discard open measurement state and stop adapting (no
+// acks will arrive); OnRecovery is called at the first ack after the
+// outage with the last pacing rate that was actually delivering before
+// it (bytes/sec, 0 when unknown), so the controller can re-probe from
+// the pre-outage operating point instead of from wherever the loss
+// flood drove it. Controllers that implement only PauseAware get
+// OnAppPause/OnAppResume as a degraded fallback.
+type OutageAware interface {
+	OnOutage(now float64)
+	OnRecovery(now float64, resumeRate float64)
 }
 
 // TraceAware is implemented by controllers that emit their own
@@ -181,6 +196,23 @@ const (
 	// Sender.Burst is zero. Four packets approximates Linux's default
 	// GSO/pacing behavior at these rates.
 	DefaultBurst = 4
+
+	// maxRTOBackoff caps the exponential RTO backoff exponent: the
+	// effective RTO is base·2^backoff, clamped to maxRTO. Without
+	// backoff, every expiry re-fires at the base RTO and floods the
+	// controller with duplicate loss signals for packets sent into an
+	// outage.
+	maxRTOBackoff = 4
+	// maxRTO is the ceiling of the backed-off retransmission timeout.
+	maxRTO = 3.0
+	// watchdogFloor is the minimum ack silence (with data outstanding)
+	// before the stall watchdog declares an outage; the actual
+	// threshold is max(2·RTO, watchdogFloor).
+	watchdogFloor = 0.5
+	// probeInterval is the keep-alive send period during a declared
+	// outage: cheap enough to be negligible, frequent enough to detect
+	// path healing within a fraction of a second.
+	probeInterval = 0.25
 )
 
 // Sender drives one flow. Create with NewSender, then Start.
@@ -216,6 +248,12 @@ type Sender struct {
 	// classic non-paced TCP behavior whose window-sized bursts are a
 	// major source of transient queueing.
 	NoPacing bool
+	// Survival enables the outage machinery — exponential RTO backoff
+	// and the stall watchdog with keep-alive probing — mirroring the
+	// wire datapath's always-on behavior. It is opt-in here so
+	// fault-free experiments replay bit-identically to earlier
+	// versions; chaos scenarios and the adversary harness switch it on.
+	Survival bool
 
 	rtt      RTTEstimator
 	unacked  []*SentPacket // ordered by Seq; pruned from the front
@@ -237,6 +275,17 @@ type Sender struct {
 	rtoTimer   Timer
 	rttSamples []float64
 	startTime  float64
+
+	// Survival machinery (exponential RTO backoff + stall watchdog).
+	rtoBackoff   int
+	lastAckAt    float64
+	lastGoodRate float64 // pacing rate at the last ack, bytes/sec
+	outage       bool
+	outageAt     float64
+	resumeRate   float64
+	probeTimer   Timer
+	wdTrips      int64
+	wdRecoveries int64
 }
 
 // clk returns the sender's clock, defaulting to the path's simulator.
@@ -259,6 +308,7 @@ func (s *Sender) Start() {
 	}
 	s.started = true
 	s.startTime = s.clk().Now()
+	s.lastAckAt = s.startTime
 	s.tr = s.Path.Link.Sim.FlowTracer(s.ID)
 	if ta, ok := s.CC.(TraceAware); ok {
 		ta.SetTracer(s.tr)
@@ -272,6 +322,10 @@ func (s *Sender) Stop() {
 	s.done = true
 	if s.rtoTimer != nil {
 		s.rtoTimer.Stop()
+	}
+	if s.probeTimer != nil {
+		s.probeTimer.Stop()
+		s.probeTimer = nil
 	}
 }
 
@@ -345,6 +399,23 @@ func (s *Sender) MinRTT() float64 { return s.rtt.MinRTT() }
 // Done reports whether a finite transfer has completed.
 func (s *Sender) Done() bool { return s.done }
 
+// WatchdogTrips returns how many times the stall watchdog declared an
+// outage.
+func (s *Sender) WatchdogTrips() int64 { return s.wdTrips }
+
+// WatchdogRecoveries returns how many declared outages ended with a
+// recovery ack.
+func (s *Sender) WatchdogRecoveries() int64 { return s.wdRecoveries }
+
+// InOutage reports whether the stall watchdog currently has the flow
+// in outage mode.
+func (s *Sender) InOutage() bool { return s.outage }
+
+// OutstandingPackets returns the number of sender-side packet records
+// currently retained — the state that must stay bounded during an
+// outage.
+func (s *Sender) OutstandingPackets() int { return len(s.unacked) }
+
 func (s *Sender) pacingRate() float64 {
 	if r := s.CC.PacingRate(); r > 0 {
 		return r
@@ -366,7 +437,7 @@ func (s *Sender) pacingRate() float64 {
 }
 
 func (s *Sender) sendAllowed() bool {
-	if s.done || s.paused || !s.started {
+	if s.done || s.paused || !s.started || s.outage {
 		return false
 	}
 	if s.Limit > 0 && s.launched >= s.Limit {
@@ -465,8 +536,22 @@ func (s *Sender) deliver(p *netem.Packet, arrival float64) {
 	if s.OnDeliver != nil {
 		s.OnDeliver(arrival, p.Size)
 	}
+	if s.Path.DropAck() {
+		return
+	}
+	// A receiver clock jump shifts the arrival stamps the sender's
+	// controller sees (OWD, ack-interval clocking) without touching
+	// sender-side RTT measurement — exactly the wire behavior.
+	recvStamp := arrival + s.Path.StampOffset
 	ackAt := s.Path.AckArrival(arrival)
-	s.clk().At(ackAt, func() { s.handleAck(p, arrival) })
+	ep := s.Path.Epoch()
+	s.clk().At(ackAt, func() {
+		if ep != s.Path.Epoch() {
+			s.Path.NoteAckFlushed()
+			return
+		}
+		s.handleAck(p, recvStamp)
+	})
 }
 
 func (s *Sender) handleAck(p *netem.Packet, recvAt float64) {
@@ -474,6 +559,9 @@ func (s *Sender) handleAck(p *netem.Packet, recvAt float64) {
 		return
 	}
 	now := s.clk().Now()
+	// Any delivered ack proves the path is alive: reset the RTO
+	// backoff and, if the watchdog had declared an outage, recover.
+	s.noteAck(now)
 	idx := s.findUnacked(p.Seq)
 	if idx < 0 {
 		return // already declared lost, or stale after completion
@@ -484,12 +572,19 @@ func (s *Sender) handleAck(p *netem.Packet, recvAt float64) {
 	}
 	sp.acked = true
 	s.inflight -= sp.Size
-	s.acked += int64(sp.Size)
 	if p.Seq > s.maxAcked {
 		s.maxAcked = p.Seq
 	}
 	rtt := now - sp.SentAt
 	s.rtt.Update(rtt)
+	if sp.probe {
+		// Keep-alive probes update liveness and the RTT estimate but
+		// are invisible to the controller and to transfer accounting.
+		s.prune()
+		s.armRTO()
+		return
+	}
+	s.acked += int64(sp.Size)
 	s.tr.RTTSample(now, p.Seq, rtt, s.rtt.srtt, s.acked, s.inflight)
 	if s.RecordRTT {
 		s.rttSamples = append(s.rttSamples, rtt)
@@ -500,6 +595,9 @@ func (s *Sender) handleAck(p *netem.Packet, recvAt float64) {
 		Inflight: s.inflight,
 	}
 	s.CC.OnAck(ack)
+	if r := s.CC.PacingRate(); r > 0 {
+		s.lastGoodRate = r
+	}
 	s.detectDupAckLosses(now)
 	s.prune()
 	s.armRTO()
@@ -553,6 +651,11 @@ func (s *Sender) reorderWindow() float64 {
 func (s *Sender) markLost(sp *SentPacket, now float64) {
 	sp.lost = true
 	s.inflight -= sp.Size
+	if sp.probe {
+		// Probes lost into an outage are expected; they never reach
+		// the controller or the transfer's byte accounting.
+		return
+	}
 	s.lostB += int64(sp.Size)
 	s.tr.PacketDrop(now, sp.Seq, sp.Size, s.Path.Link.QueueBytes(), "declared")
 	if s.Limit > 0 {
@@ -605,11 +708,115 @@ func (s *Sender) armRTO() {
 		return
 	}
 	clk := s.clk()
-	deadline := oldest.SentAt + s.rtt.RTO()
+	deadline := oldest.SentAt + s.effRTO()
 	if deadline < clk.Now() {
 		deadline = clk.Now()
 	}
 	s.rtoTimer = clk.At(deadline, s.onRTO)
+}
+
+// effRTO is the retransmission timeout with exponential backoff: the
+// base RFC 6298 value doubled per consecutive loss-declaring expiry,
+// capped at maxRTO. The backoff resets on any ack.
+func (s *Sender) effRTO() float64 {
+	rto := s.rtt.RTO() * float64(int64(1)<<uint(s.rtoBackoff))
+	if rto > maxRTO {
+		if base := s.rtt.RTO(); base > maxRTO {
+			return base
+		}
+		return maxRTO
+	}
+	return rto
+}
+
+// watchdogTimeout is the ack silence (with data outstanding) that
+// declares an outage.
+func (s *Sender) watchdogTimeout() float64 {
+	wd := 2 * s.rtt.RTO()
+	if wd < watchdogFloor {
+		wd = watchdogFloor
+	}
+	return wd
+}
+
+// noteAck records proof of path liveness from a delivered ack.
+func (s *Sender) noteAck(now float64) {
+	s.lastAckAt = now
+	s.rtoBackoff = 0
+	if s.outage {
+		s.recoverFromOutage(now)
+	}
+}
+
+// tripWatchdog declares an outage: freeze the controller (so its
+// gradient machinery does not rate-collapse on a flood of timeout
+// losses), remember the pre-outage operating rate, and switch to cheap
+// keep-alive probing until the path heals.
+func (s *Sender) tripWatchdog(now float64) {
+	s.outage = true
+	s.outageAt = now
+	s.wdTrips++
+	s.resumeRate = s.lastGoodRate
+	s.tr.Fault(now, "watchdog-trip", 1, now-s.lastAckAt)
+	switch cc := s.CC.(type) {
+	case OutageAware:
+		cc.OnOutage(now)
+	case PauseAware:
+		cc.OnAppPause(now)
+	}
+	s.scheduleProbe(now + probeInterval)
+}
+
+// recoverFromOutage ends a declared outage at the first delivered ack:
+// restore the controller at the pre-outage rate and resume sending.
+func (s *Sender) recoverFromOutage(now float64) {
+	s.outage = false
+	s.wdRecoveries++
+	if s.probeTimer != nil {
+		s.probeTimer.Stop()
+		s.probeTimer = nil
+	}
+	rate := s.resumeRate
+	if rate <= 0 {
+		rate = s.CC.PacingRate()
+	}
+	s.tr.Fault(now, "watchdog-recover", 0, now-s.outageAt)
+	switch cc := s.CC.(type) {
+	case OutageAware:
+		cc.OnRecovery(now, rate)
+	case PauseAware:
+		cc.OnAppResume(now)
+	}
+	s.blocked = false
+	if s.nextSend < now {
+		s.nextSend = now
+	}
+	s.trySend()
+}
+
+func (s *Sender) scheduleProbe(at float64) {
+	s.probeTimer = s.clk().At(at, s.sendProbe)
+}
+
+// sendProbe emits one keep-alive packet during an outage, bypassing
+// the (frozen) controller entirely, and reschedules itself. The first
+// probe the healed path delivers produces the recovery ack.
+func (s *Sender) sendProbe() {
+	s.probeTimer = nil
+	if s.done || !s.outage {
+		return
+	}
+	now := s.clk().Now()
+	pkt := &SentPacket{Seq: s.seq, Size: netem.MTU, SentAt: now, probe: true}
+	s.seq++
+	s.unacked = append(s.unacked, pkt)
+	s.inflight += pkt.Size
+	wire := &netem.Packet{FlowID: s.ID, Seq: pkt.Seq, Size: pkt.Size, SentAt: now}
+	s.Path.Link.Send(wire, s.deliver)
+	if s.rtoTimer == nil {
+		s.armRTO()
+	}
+	s.scheduleProbe(now + probeInterval)
 }
 
 func (s *Sender) oldestOutstanding() *SentPacket {
@@ -627,11 +834,27 @@ func (s *Sender) onRTO() {
 		return
 	}
 	now := s.clk().Now()
-	rto := s.rtt.RTO()
+	// Stall watchdog: prolonged ack silence with data outstanding is
+	// an outage, not a loss rate — handle it before declaring more
+	// losses. Paused flows are excluded (silence is self-inflicted).
+	if s.Survival && !s.outage && !s.paused && s.oldestOutstanding() != nil &&
+		now-s.lastAckAt >= s.watchdogTimeout() {
+		s.tripWatchdog(now)
+	}
+	rto := s.effRTO()
+	declared := false
 	for _, sp := range s.unacked {
 		if !sp.acked && !sp.lost && now-sp.SentAt >= rto-1e-12 {
 			s.markLost(sp, now)
+			declared = true
 		}
+	}
+	// Back off only when the expiry happened in true ack silence (no
+	// ack for a full RTO). Straggler declarations while acks still flow
+	// are ordinary congestion — backing off there would delay the loss
+	// signal the controllers depend on.
+	if s.Survival && declared && now-s.lastAckAt >= rto && s.rtoBackoff < maxRTOBackoff {
+		s.rtoBackoff++
 	}
 	s.prune()
 	s.armRTO()

@@ -42,7 +42,7 @@ func BenchmarkAckProcess(b *testing.B) {
 		a.CumAck = int64(i + 1)
 		a.RecvAt = s.clock.NanosAt(now)
 		pkt := a.Encode(buf[:])
-		if !DecodeAck(pkt, &s.ack) {
+		if err := DecodeAck(pkt, &s.ack); err != nil {
 			b.Fatal("decode failed")
 		}
 		s.processAck(&s.ack)

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"pccproteus/internal/chaos"
 	"pccproteus/internal/stats"
 	"pccproteus/internal/trace"
 	"pccproteus/internal/transport"
@@ -28,6 +29,10 @@ type LoopbackConfig struct {
 	// Schedule, when non-empty, applies timed impairment updates —
 	// the wire-side replay of an adversary schedule.
 	Schedule []ShimUpdate
+	// Chaos, when non-nil, replays a fault plan against the shim in
+	// real time: the same plan a simulated run applies via
+	// chaos.ApplySim, so fault schedules cross-validate sim vs wire.
+	Chaos *chaos.Plan
 	// Recorder optionally captures flight-recorder events from the
 	// sender and controller (flow 1).
 	Recorder *trace.Recorder
@@ -118,6 +123,34 @@ func RunLoopback(cfg LoopbackConfig) (*LoopbackResult, error) {
 					time.Sleep(d)
 				}
 				shim.Update(u)
+			}
+		}()
+	}
+
+	// Chaos fault plan, replayed in real time against the shim — the
+	// wire-side twin of chaos.ApplySim. Restarts flush the shim's
+	// in-flight queues and reset the receiver's flow state; every state
+	// step lands on the shim atomically and is stamped onto the
+	// sender's trace timeline exactly as the simulated applier would.
+	if cfg.Chaos != nil {
+		plan := cfg.Chaos.Canonical()
+		steps := plan.Steps(cfg.Duration)
+		go func() {
+			t0 := time.Now()
+			prev := chaos.PathState{}
+			for _, step := range steps {
+				sleepUntilReal(t0, step.At)
+				if step.Restart {
+					shim.Flush()
+					recv.Reset()
+					snd.NoteFault(string(chaos.KindPeerRestart), 1, 0)
+					continue
+				}
+				shim.SetFault(step.State)
+				for _, ev := range chaos.Transitions(prev, step.State) {
+					snd.NoteFault(ev.Name, ev.Active, ev.Value)
+				}
+				prev = step.State
 			}
 		}()
 	}

@@ -1,6 +1,28 @@
 package wire
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Codec errors. Decoders return these instead of panicking or silently
+// accepting garbage: a corrupted datagram off the network must be a
+// countable error, never a crash and never a bogus ack view.
+var (
+	// ErrTruncated is returned for input shorter than its header (or,
+	// for acks, shorter than its declared SACK blocks) requires.
+	ErrTruncated = errors.New("wire: truncated packet")
+	// ErrOversized is returned for input longer than the format allows.
+	ErrOversized = errors.New("wire: oversized packet")
+	// ErrBadType is returned when the type byte is not the expected one.
+	ErrBadType = errors.New("wire: wrong packet type")
+	// ErrBadVersion is returned for an unknown wire version.
+	ErrBadVersion = errors.New("wire: unknown wire version")
+	// ErrInconsistent is returned when the fields decode but contradict
+	// each other — e.g. SACK ranges below the cumulative ack, empty or
+	// overlapping blocks, or negative sequence numbers.
+	ErrInconsistent = errors.New("wire: inconsistent packet fields")
+)
 
 // Wire format. All integers are big-endian.
 //
@@ -44,6 +66,9 @@ const (
 	MaxSackBlocks = 4
 	// MaxAckLen is the largest possible ack packet.
 	MaxAckLen = AckFixedLen + 16*MaxSackBlocks
+	// MaxDataLen is the largest acceptable data packet: the maximum
+	// UDP payload over IPv4 (65535 − 20 IP − 8 UDP).
+	MaxDataLen = 65507
 )
 
 // DataHeader is the decoded header of a data packet.
@@ -77,17 +102,31 @@ func StampArrival(b []byte, nanos int64) bool {
 	return true
 }
 
-// DecodeData parses a data packet. It reports false for anything that
-// is not a well-formed data packet.
-func DecodeData(b []byte) (DataHeader, bool) {
-	if len(b) < DataHeaderLen || b[0] != typeData || b[1] != wireVersion {
-		return DataHeader{}, false
+// DecodeData parses a data packet. It returns a nil error only for a
+// well-formed data packet: correct type and version bytes, a length
+// within [DataHeaderLen, MaxDataLen], and non-negative stamps.
+func DecodeData(b []byte) (DataHeader, error) {
+	if len(b) < DataHeaderLen {
+		return DataHeader{}, ErrTruncated
 	}
-	return DataHeader{
+	if b[0] != typeData {
+		return DataHeader{}, ErrBadType
+	}
+	if b[1] != wireVersion {
+		return DataHeader{}, ErrBadVersion
+	}
+	if len(b) > MaxDataLen {
+		return DataHeader{}, ErrOversized
+	}
+	h := DataHeader{
 		Seq:     int64(binary.BigEndian.Uint64(b[2:])),
 		SentAt:  int64(binary.BigEndian.Uint64(b[10:])),
 		Arrival: int64(binary.BigEndian.Uint64(b[18:])),
-	}, true
+	}
+	if h.Seq < 0 || h.SentAt < 0 || h.Arrival < 0 {
+		return DataHeader{}, ErrInconsistent
+	}
+	return h, nil
 }
 
 // SackBlock is one contiguous received range [Start, End).
@@ -130,30 +169,54 @@ func (a *AckPacket) Encode(buf []byte) []byte {
 	return buf[:off]
 }
 
-// DecodeAck parses an ack packet into a, reusing a.Blocks. It reports
-// false for malformed input.
-func DecodeAck(b []byte, a *AckPacket) bool {
-	if len(b) < AckFixedLen || b[0] != typeAck {
-		return false
+// DecodeAck parses an ack packet into a, reusing a.Blocks. It returns
+// a nil error only for a well-formed ack: exact length for the
+// declared block count, non-negative sequence fields, and SACK blocks
+// that are non-empty, strictly ascending, non-overlapping, and
+// entirely above the cumulative ack. A malformed ack leaves a with
+// zero blocks so a caller that ignores the error cannot act on stale
+// ranges from a previous decode.
+func DecodeAck(b []byte, a *AckPacket) error {
+	a.Blocks = a.Blocks[:0]
+	if len(b) < AckFixedLen {
+		return ErrTruncated
+	}
+	if b[0] != typeAck {
+		return ErrBadType
 	}
 	n := int(b[1])
-	if n > MaxSackBlocks || len(b) < AckFixedLen+16*n {
-		return false
+	if n > MaxSackBlocks {
+		return ErrInconsistent
+	}
+	if len(b) < AckFixedLen+16*n {
+		return ErrTruncated
+	}
+	if len(b) > AckFixedLen+16*n {
+		return ErrOversized
 	}
 	a.Seq = int64(binary.BigEndian.Uint64(b[2:]))
 	a.SentAtEcho = int64(binary.BigEndian.Uint64(b[10:]))
 	a.RecvAt = int64(binary.BigEndian.Uint64(b[18:]))
 	a.CumAck = int64(binary.BigEndian.Uint64(b[26:]))
-	a.Blocks = a.Blocks[:0]
+	if a.Seq < 0 || a.SentAtEcho < 0 || a.RecvAt < 0 || a.CumAck < 0 {
+		return ErrInconsistent
+	}
 	off := AckFixedLen
+	prevEnd := a.CumAck
 	for i := 0; i < n; i++ {
-		a.Blocks = append(a.Blocks, SackBlock{
+		bl := SackBlock{
 			Start: int64(binary.BigEndian.Uint64(b[off:])),
 			End:   int64(binary.BigEndian.Uint64(b[off+8:])),
-		})
+		}
+		if bl.Start >= bl.End || bl.Start < prevEnd {
+			a.Blocks = a.Blocks[:0]
+			return ErrInconsistent
+		}
+		prevEnd = bl.End
+		a.Blocks = append(a.Blocks, bl)
 		off += 16
 	}
-	return true
+	return nil
 }
 
 // PacketType classifies a raw datagram for the shim's proxy loop

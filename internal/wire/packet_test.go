@@ -12,24 +12,39 @@ func TestDataPacketRoundtrip(t *testing.T) {
 	if len(pkt) != 1200 {
 		t.Fatalf("packet length %d want 1200", len(pkt))
 	}
-	got, ok := DecodeData(pkt)
-	if !ok || got != h {
-		t.Fatalf("roundtrip: got %+v ok=%v want %+v", got, ok, h)
+	got, err := DecodeData(pkt)
+	if err != nil || got != h {
+		t.Fatalf("roundtrip: got %+v err=%v want %+v", got, err, h)
 	}
 	if PacketType(pkt) != typeData {
 		t.Fatal("PacketType should classify as data")
 	}
-	// Malformed inputs must be rejected.
-	if _, ok := DecodeData(pkt[:DataHeaderLen-1]); ok {
-		t.Fatal("short packet decoded")
+	// Malformed inputs must be rejected with the matching error.
+	if _, err := DecodeData(pkt[:DataHeaderLen-1]); err != ErrTruncated {
+		t.Fatalf("short packet: err=%v want ErrTruncated", err)
 	}
 	bad := append([]byte(nil), pkt...)
 	bad[1] = wireVersion + 1
-	if _, ok := DecodeData(bad); ok {
-		t.Fatal("wrong version decoded")
+	if _, err := DecodeData(bad); err != ErrBadVersion {
+		t.Fatalf("wrong version: err=%v want ErrBadVersion", err)
 	}
-	if _, ok := DecodeData([]byte{typeAck, 1, 2, 3}); ok {
-		t.Fatal("ack decoded as data")
+	if _, err := DecodeData(append([]byte{typeAck, 1, 2, 3}, make([]byte, DataHeaderLen)...)); err != ErrBadType {
+		t.Fatalf("ack as data: err=%v want ErrBadType", err)
+	}
+	if _, err := DecodeData(make([]byte, MaxDataLen+1)); err != ErrTruncated && err != ErrBadType {
+		// A giant junk buffer fails on type first; a giant valid header
+		// must fail on size.
+		t.Fatalf("junk: err=%v", err)
+	}
+	huge := make([]byte, MaxDataLen+1)
+	copy(huge, pkt[:DataHeaderLen])
+	if _, err := DecodeData(huge); err != ErrOversized {
+		t.Fatalf("oversized: err=%v want ErrOversized", err)
+	}
+	neg := append([]byte(nil), pkt...)
+	neg[2] |= 0x80 // negative seq
+	if _, err := DecodeData(neg); err != ErrInconsistent {
+		t.Fatalf("negative seq: err=%v want ErrInconsistent", err)
 	}
 }
 
@@ -47,8 +62,8 @@ func TestAckPacketRoundtrip(t *testing.T) {
 		t.Fatal("PacketType should classify as ack")
 	}
 	var got AckPacket
-	if !DecodeAck(pkt, &got) {
-		t.Fatal("decode failed")
+	if err := DecodeAck(pkt, &got); err != nil {
+		t.Fatalf("decode failed: %v", err)
 	}
 	if got.Seq != 42 || got.SentAtEcho != 111 || got.RecvAt != 222 || got.CumAck != 40 {
 		t.Fatalf("fixed fields: %+v", got)
@@ -57,8 +72,8 @@ func TestAckPacketRoundtrip(t *testing.T) {
 		t.Fatalf("blocks: %+v", got.Blocks)
 	}
 	// Decoding reuses Blocks without allocating once capacity exists.
-	if !DecodeAck(pkt, &got) || len(got.Blocks) != 2 {
-		t.Fatal("re-decode failed")
+	if err := DecodeAck(pkt, &got); err != nil || len(got.Blocks) != 2 {
+		t.Fatalf("re-decode failed: %v", err)
 	}
 }
 
@@ -69,8 +84,8 @@ func TestAckPacketBlockOverflowKeepsHighest(t *testing.T) {
 	}
 	pkt := a.Encode(buf[:])
 	var got AckPacket
-	if !DecodeAck(pkt, &got) {
-		t.Fatal("decode failed")
+	if err := DecodeAck(pkt, &got); err != nil {
+		t.Fatalf("decode failed: %v", err)
 	}
 	if len(got.Blocks) != MaxSackBlocks {
 		t.Fatalf("got %d blocks want %d", len(got.Blocks), MaxSackBlocks)
@@ -82,21 +97,53 @@ func TestAckPacketBlockOverflowKeepsHighest(t *testing.T) {
 }
 
 func TestDecodeAckRejectsMalformed(t *testing.T) {
-	var got AckPacket
-	if DecodeAck([]byte{typeAck, 0}, &got) {
-		t.Fatal("truncated ack decoded")
-	}
 	var buf [MaxAckLen]byte
-	a := AckPacket{Blocks: []SackBlock{{1, 2}}}
-	pkt := append([]byte(nil), a.Encode(buf[:])...)
-	pkt[1] = MaxSackBlocks + 1 // block count out of range
-	if DecodeAck(pkt, &got) {
-		t.Fatal("over-count ack decoded")
+	mk := func(a AckPacket) []byte {
+		return append([]byte(nil), a.Encode(buf[:])...)
 	}
-	pkt[1] = 2 // claims more blocks than bytes present
-	if DecodeAck(pkt, &got) {
-		t.Fatal("short-block ack decoded")
+	base := AckPacket{Seq: 9, CumAck: 5, Blocks: []SackBlock{{7, 9}}}
+	cases := []struct {
+		name string
+		pkt  []byte
+		want error
+	}{
+		{"truncated header", []byte{typeAck, 0}, ErrTruncated},
+		{"wrong type", mkData(), ErrBadType},
+		{"block count over max", withByte(mk(base), 1, MaxSackBlocks+1), ErrInconsistent},
+		{"declares more blocks than present", withByte(mk(base), 1, 2), ErrTruncated},
+		{"trailing junk", append(mk(base), 0xff), ErrOversized},
+		{"negative cum ack", withByte(mk(base), 26, 0x80), ErrInconsistent},
+		{"empty sack block", mk(AckPacket{CumAck: 5, Blocks: []SackBlock{{7, 7}}}), ErrInconsistent},
+		{"inverted sack block", mk(AckPacket{CumAck: 5, Blocks: []SackBlock{{9, 7}}}), ErrInconsistent},
+		{"sack below cum ack", mk(AckPacket{CumAck: 5, Blocks: []SackBlock{{3, 4}}}), ErrInconsistent},
+		{"overlapping sack blocks", mk(AckPacket{CumAck: 0, Blocks: []SackBlock{{2, 6}, {4, 8}}}), ErrInconsistent},
+		{"descending sack blocks", mk(AckPacket{CumAck: 0, Blocks: []SackBlock{{8, 10}, {2, 4}}}), ErrInconsistent},
 	}
+	for _, tc := range cases {
+		var got AckPacket
+		got.Blocks = append(got.Blocks, SackBlock{1, 2}) // stale state to clear
+		if err := DecodeAck(tc.pkt, &got); err != tc.want {
+			t.Errorf("%s: err=%v want %v", tc.name, err, tc.want)
+		} else if len(got.Blocks) != 0 {
+			t.Errorf("%s: rejected decode left %d stale blocks", tc.name, len(got.Blocks))
+		}
+	}
+	// A valid ack still decodes after all that.
+	var got AckPacket
+	if err := DecodeAck(mk(base), &got); err != nil {
+		t.Fatalf("valid ack rejected: %v", err)
+	}
+}
+
+func mkData() []byte {
+	var buf [64]byte
+	return append([]byte(nil), EncodeData(buf[:], DataHeader{Seq: 1}, 40)...)
+}
+
+func withByte(b []byte, i int, v byte) []byte {
+	out := append([]byte(nil), b...)
+	out[i] = v
+	return out
 }
 
 func TestMixSeed(t *testing.T) {

@@ -3,6 +3,7 @@ package wire
 import (
 	"errors"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
 )
@@ -13,14 +14,91 @@ type ReceiverStats struct {
 	Bytes     int64
 	Dups      int64
 	AcksSent  int64
-	HighestRx int64 // highest sequence seen
-	CumAck    int64
+	HighestRx int64 // highest sequence seen on any flow
+	CumAck    int64 // cumulative ack of the most recently active flow
+	BadPkts   int64 // datagrams rejected by the codec (corrupt/garbage)
+	Flows     int   // live per-source flows
+	Evicted   int64 // flows evicted (idle deadline or flow-cap pressure)
+}
+
+// flowState is the per-source ack state: a cumulative ack plus SACK
+// ranges, keyed by the sender's source address. A sender that restarts
+// and rebinds arrives from a fresh port and therefore gets fresh state
+// — exactly the rebind semantics a restart needs — while the old
+// flow's state ages out on the idle deadline.
+type flowState struct {
+	cum      int64 // every seq < cum received
+	ranges   []SackBlock
+	pkts     int64
+	dups     int64
+	highest  int64
+	lastSeen float64 // receiver-clock seconds of the last datagram
+}
+
+// maxTrackedRanges bounds per-flow SACK state under pathological
+// loss; overflow discards the lowest range, whose packets the sender
+// will eventually retire by RTO.
+const maxTrackedRanges = 64
+
+// defaultIdleTimeout evicts a flow after this many seconds without a
+// datagram; defaultMaxFlows caps live flows (the stalest is evicted
+// to admit a new one). Both bound receiver state against source-port
+// churn — accidental or adversarial.
+const (
+	defaultIdleTimeout = 60.0
+	defaultMaxFlows    = 64
+)
+
+// record merges seq into the cumulative-ack/SACK state and reports
+// whether it was new.
+func (f *flowState) record(seq int64) bool {
+	if seq < f.cum {
+		return false
+	}
+	if seq == f.cum {
+		f.cum++
+		for len(f.ranges) > 0 && f.ranges[0].Start <= f.cum {
+			if f.ranges[0].End > f.cum {
+				f.cum = f.ranges[0].End
+			}
+			f.ranges = f.ranges[1:]
+		}
+		return true
+	}
+	// Out-of-order arrival: splice into the sorted disjoint ranges.
+	for i := range f.ranges {
+		bl := &f.ranges[i]
+		switch {
+		case seq >= bl.Start && seq < bl.End:
+			return false
+		case seq == bl.End:
+			bl.End++
+			if i+1 < len(f.ranges) && f.ranges[i+1].Start == bl.End {
+				bl.End = f.ranges[i+1].End
+				f.ranges = append(f.ranges[:i+1], f.ranges[i+2:]...)
+			}
+			return true
+		case seq == bl.Start-1:
+			bl.Start--
+			return true
+		case seq < bl.Start:
+			f.ranges = append(f.ranges, SackBlock{})
+			copy(f.ranges[i+1:], f.ranges[i:])
+			f.ranges[i] = SackBlock{Start: seq, End: seq + 1}
+			return true
+		}
+	}
+	f.ranges = append(f.ranges, SackBlock{Start: seq, End: seq + 1})
+	if len(f.ranges) > maxTrackedRanges {
+		f.ranges = f.ranges[1:]
+	}
+	return true
 }
 
 // Receiver is the ack-generating endpoint: it tracks received
-// sequences as a cumulative ack plus SACK ranges and answers every
-// data packet with an ack, giving the sender the per-packet ack clock
-// the controllers' monitor machinery expects.
+// sequences per source flow as a cumulative ack plus SACK ranges and
+// answers every data packet with an ack, giving the sender the
+// per-packet ack clock the controllers' monitor machinery expects.
 type Receiver struct {
 	// Conn is the unconnected listening socket; acks go back to each
 	// data packet's source address, so the receiver works identically
@@ -29,17 +107,25 @@ type Receiver struct {
 	// OnDeliver, when set, observes every arriving data packet (bytes,
 	// receiver-clock seconds). Called from the receive goroutine.
 	OnDeliver func(now float64, bytes int)
+	// IdleTimeout evicts a flow after this many seconds of silence;
+	// zero means defaultIdleTimeout. Set before Start.
+	IdleTimeout float64
+	// MaxFlows caps live per-source flows; zero means defaultMaxFlows.
+	MaxFlows int
 
 	clock Clock
 
-	mu      sync.Mutex
-	cum     int64 // every seq < cum received
-	ranges  []SackBlock
-	pkts    int64
-	bytes   int64
-	dups    int64
-	acks    int64
-	highest int64
+	mu        sync.Mutex
+	flows     map[netip.AddrPort]*flowState
+	pkts      int64
+	bytes     int64
+	dups      int64
+	acks      int64
+	bad       int64
+	evicted   int64
+	highest   int64
+	lastCum   int64 // cum of the most recently active flow, for stats
+	lastSweep float64
 
 	ackScratch AckPacket
 	ackBuf     [MaxAckLen]byte
@@ -49,11 +135,6 @@ type Receiver struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 }
-
-// maxTrackedRanges bounds receiver SACK state under pathological
-// loss; overflow discards the lowest range, whose packets the sender
-// will eventually retire by RTO.
-const maxTrackedRanges = 64
 
 // Start launches the receive loop.
 func (r *Receiver) Start() error {
@@ -65,6 +146,13 @@ func (r *Receiver) Start() error {
 	}
 	r.clock = NewClock()
 	r.highest = -1
+	r.flows = make(map[netip.AddrPort]*flowState)
+	if r.IdleTimeout <= 0 {
+		r.IdleTimeout = defaultIdleTimeout
+	}
+	if r.MaxFlows <= 0 {
+		r.MaxFlows = defaultMaxFlows
+	}
 	r.done = make(chan struct{})
 	r.started = true
 	r.wg.Add(1)
@@ -81,6 +169,16 @@ func (r *Receiver) Stop() {
 	r.wg.Wait()
 }
 
+// Reset discards all per-flow state, modeling a receiver-process
+// restart: senders see their cumulative acks regress to zero and must
+// cope (the chaos peer-restart fault drives this).
+func (r *Receiver) Reset() {
+	r.mu.Lock()
+	r.flows = make(map[netip.AddrPort]*flowState)
+	r.lastCum = 0
+	r.mu.Unlock()
+}
+
 // Addr returns the listening address.
 func (r *Receiver) Addr() *net.UDPAddr { return r.Conn.LocalAddr().(*net.UDPAddr) }
 
@@ -90,7 +188,46 @@ func (r *Receiver) Stats() ReceiverStats {
 	defer r.mu.Unlock()
 	return ReceiverStats{
 		Pkts: r.pkts, Bytes: r.bytes, Dups: r.dups, AcksSent: r.acks,
-		HighestRx: r.highest, CumAck: r.cum,
+		HighestRx: r.highest, CumAck: r.lastCum, BadPkts: r.bad,
+		Flows: len(r.flows), Evicted: r.evicted,
+	}
+}
+
+// flow returns (creating if needed) the state for src, enforcing the
+// flow cap by evicting the stalest flow. Called with the mutex held.
+func (r *Receiver) flow(src netip.AddrPort, now float64) *flowState {
+	if f, ok := r.flows[src]; ok {
+		return f
+	}
+	if len(r.flows) >= r.MaxFlows {
+		var oldKey netip.AddrPort
+		oldest := now + 1
+		for k, f := range r.flows {
+			if f.lastSeen < oldest {
+				oldest = f.lastSeen
+				oldKey = k
+			}
+		}
+		delete(r.flows, oldKey)
+		r.evicted++
+	}
+	f := &flowState{highest: -1}
+	r.flows[src] = f
+	return f
+}
+
+// sweep evicts idle flows; at most once per second. Called with the
+// mutex held.
+func (r *Receiver) sweep(now float64) {
+	if now-r.lastSweep < 1 {
+		return
+	}
+	r.lastSweep = now
+	for k, f := range r.flows {
+		if now-f.lastSeen > r.IdleTimeout {
+			delete(r.flows, k)
+			r.evicted++
+		}
 	}
 }
 
@@ -104,28 +241,48 @@ func (r *Receiver) loop() {
 		default:
 		}
 		r.Conn.SetReadDeadline(time.Now().Add(readTimeout))
-		n, src, err := r.Conn.ReadFromUDP(buf)
+		n, src, err := r.Conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			if isTimeout(err) {
 				continue
 			}
-			return
-		}
-		h, ok := DecodeData(buf[:n])
-		if !ok {
+			if isClosed(err) {
+				return
+			}
+			// Transient socket errors (ICMP unreachable while a peer
+			// restarts, spurious EINTR) must not kill the ack clock.
+			time.Sleep(time.Millisecond)
 			continue
 		}
+		h, derr := DecodeData(buf[:n])
+		if derr != nil {
+			// Corrupt or junk input is counted and dropped — never a
+			// panic, never an ack.
+			r.mu.Lock()
+			r.bad++
+			r.mu.Unlock()
+			continue
+		}
+		now := r.clock.Now()
 		r.mu.Lock()
-		dup := !r.record(h.Seq)
+		f := r.flow(src, now)
+		f.lastSeen = now
+		dup := !f.record(h.Seq)
 		if dup {
+			f.dups++
 			r.dups++
 		} else {
+			f.pkts++
 			r.pkts++
 			r.bytes += int64(n)
+		}
+		if h.Seq > f.highest {
+			f.highest = h.Seq
 		}
 		if h.Seq > r.highest {
 			r.highest = h.Seq
 		}
+		r.lastCum = f.cum
 		ack := &r.ackScratch
 		ack.Seq = h.Seq
 		ack.SentAtEcho = h.SentAt
@@ -136,60 +293,15 @@ func (r *Receiver) loop() {
 		if ack.RecvAt == 0 {
 			ack.RecvAt = r.clock.WallNanos()
 		}
-		ack.CumAck = r.cum
-		ack.Blocks = append(ack.Blocks[:0], r.ranges...)
+		ack.CumAck = f.cum
+		ack.Blocks = append(ack.Blocks[:0], f.ranges...)
 		pkt := ack.Encode(r.ackBuf[:])
 		r.acks++
+		r.sweep(now)
 		r.mu.Unlock()
 		if r.OnDeliver != nil && !dup {
-			r.OnDeliver(r.clock.Now(), n)
+			r.OnDeliver(now, n)
 		}
-		r.Conn.WriteToUDP(pkt, src)
+		r.Conn.WriteToUDPAddrPort(pkt, src)
 	}
-}
-
-// record merges seq into the cumulative-ack/SACK state and reports
-// whether it was new. Called with the mutex held.
-func (r *Receiver) record(seq int64) bool {
-	if seq < r.cum {
-		return false
-	}
-	if seq == r.cum {
-		r.cum++
-		for len(r.ranges) > 0 && r.ranges[0].Start <= r.cum {
-			if r.ranges[0].End > r.cum {
-				r.cum = r.ranges[0].End
-			}
-			r.ranges = r.ranges[1:]
-		}
-		return true
-	}
-	// Out-of-order arrival: splice into the sorted disjoint ranges.
-	for i := range r.ranges {
-		bl := &r.ranges[i]
-		switch {
-		case seq >= bl.Start && seq < bl.End:
-			return false
-		case seq == bl.End:
-			bl.End++
-			if i+1 < len(r.ranges) && r.ranges[i+1].Start == bl.End {
-				bl.End = r.ranges[i+1].End
-				r.ranges = append(r.ranges[:i+1], r.ranges[i+2:]...)
-			}
-			return true
-		case seq == bl.Start-1:
-			bl.Start--
-			return true
-		case seq < bl.Start:
-			r.ranges = append(r.ranges, SackBlock{})
-			copy(r.ranges[i+1:], r.ranges[i:])
-			r.ranges[i] = SackBlock{Start: seq, End: seq + 1}
-			return true
-		}
-	}
-	r.ranges = append(r.ranges, SackBlock{Start: seq, End: seq + 1})
-	if len(r.ranges) > maxTrackedRanges {
-		r.ranges = r.ranges[1:]
-	}
-	return true
 }

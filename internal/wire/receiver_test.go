@@ -1,80 +1,194 @@
 package wire
 
-import "testing"
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
 
-// rec drives the receiver's SACK tracker directly; ok is the expected
-// "new packet" result.
-func expectRecord(t *testing.T, r *Receiver, seq int64, ok bool) {
+func testAddr(i int) netip.AddrPort {
+	return netip.AddrPortFrom(netip.AddrFrom4([4]byte{127, 0, 0, 1}), uint16(40000+i))
+}
+
+// expectRecord drives the per-flow SACK tracker directly; ok is the
+// expected "new packet" result.
+func expectRecord(t *testing.T, f *flowState, seq int64, ok bool) {
 	t.Helper()
-	if got := r.record(seq); got != ok {
-		t.Fatalf("record(%d) = %v want %v (cum=%d ranges=%v)", seq, got, ok, r.cum, r.ranges)
+	if got := f.record(seq); got != ok {
+		t.Fatalf("record(%d) = %v want %v (cum=%d ranges=%v)", seq, got, ok, f.cum, f.ranges)
 	}
 }
 
 func TestReceiverRecordInOrder(t *testing.T) {
-	r := &Receiver{}
+	f := &flowState{}
 	for i := int64(0); i < 5; i++ {
-		expectRecord(t, r, i, true)
+		expectRecord(t, f, i, true)
 	}
-	if r.cum != 5 || len(r.ranges) != 0 {
-		t.Fatalf("cum=%d ranges=%v", r.cum, r.ranges)
+	if f.cum != 5 || len(f.ranges) != 0 {
+		t.Fatalf("cum=%d ranges=%v", f.cum, f.ranges)
 	}
-	expectRecord(t, r, 3, false) // retransmit below cum is a dup
+	expectRecord(t, f, 3, false) // retransmit below cum is a dup
 }
 
 func TestReceiverRecordGapAndFill(t *testing.T) {
-	r := &Receiver{}
-	expectRecord(t, r, 0, true)
-	expectRecord(t, r, 2, true) // hole at 1
-	if r.cum != 1 || len(r.ranges) != 1 || r.ranges[0] != (SackBlock{2, 3}) {
-		t.Fatalf("cum=%d ranges=%v", r.cum, r.ranges)
+	f := &flowState{}
+	expectRecord(t, f, 0, true)
+	expectRecord(t, f, 2, true) // hole at 1
+	if f.cum != 1 || len(f.ranges) != 1 || f.ranges[0] != (SackBlock{2, 3}) {
+		t.Fatalf("cum=%d ranges=%v", f.cum, f.ranges)
 	}
-	expectRecord(t, r, 2, false) // dup inside a range
-	expectRecord(t, r, 1, true)  // fill the hole: cum jumps past the range
-	if r.cum != 3 || len(r.ranges) != 0 {
-		t.Fatalf("after fill: cum=%d ranges=%v", r.cum, r.ranges)
+	expectRecord(t, f, 2, false) // dup inside a range
+	expectRecord(t, f, 1, true)  // fill the hole: cum jumps past the range
+	if f.cum != 3 || len(f.ranges) != 0 {
+		t.Fatalf("after fill: cum=%d ranges=%v", f.cum, f.ranges)
 	}
 }
 
 func TestReceiverRecordMergesAdjacentRanges(t *testing.T) {
-	r := &Receiver{}
-	r.cum = 0
-	expectRecord(t, r, 5, true)
-	expectRecord(t, r, 7, true)
-	if len(r.ranges) != 2 {
-		t.Fatalf("ranges=%v", r.ranges)
+	f := &flowState{}
+	f.cum = 0
+	expectRecord(t, f, 5, true)
+	expectRecord(t, f, 7, true)
+	if len(f.ranges) != 2 {
+		t.Fatalf("ranges=%v", f.ranges)
 	}
-	expectRecord(t, r, 6, true) // bridges {5,6} and {7,8}
-	if len(r.ranges) != 1 || r.ranges[0] != (SackBlock{5, 8}) {
-		t.Fatalf("merge failed: %v", r.ranges)
+	expectRecord(t, f, 6, true) // bridges {5,6} and {7,8}
+	if len(f.ranges) != 1 || f.ranges[0] != (SackBlock{5, 8}) {
+		t.Fatalf("merge failed: %v", f.ranges)
 	}
-	expectRecord(t, r, 4, true) // extends {5,8} downward
-	if r.ranges[0] != (SackBlock{4, 8}) {
-		t.Fatalf("downward extend failed: %v", r.ranges)
+	expectRecord(t, f, 4, true) // extends {5,8} downward
+	if f.ranges[0] != (SackBlock{4, 8}) {
+		t.Fatalf("downward extend failed: %v", f.ranges)
 	}
-	expectRecord(t, r, 2, true) // new range below the existing one
-	if len(r.ranges) != 2 || r.ranges[0] != (SackBlock{2, 3}) {
-		t.Fatalf("insert-below failed: %v", r.ranges)
+	expectRecord(t, f, 2, true) // new range below the existing one
+	if len(f.ranges) != 2 || f.ranges[0] != (SackBlock{2, 3}) {
+		t.Fatalf("insert-below failed: %v", f.ranges)
 	}
 	// Filling 0,1,3 collapses everything into cum.
-	expectRecord(t, r, 0, true)
-	expectRecord(t, r, 1, true)
-	expectRecord(t, r, 3, true)
-	if r.cum != 8 || len(r.ranges) != 0 {
-		t.Fatalf("final: cum=%d ranges=%v", r.cum, r.ranges)
+	expectRecord(t, f, 0, true)
+	expectRecord(t, f, 1, true)
+	expectRecord(t, f, 3, true)
+	if f.cum != 8 || len(f.ranges) != 0 {
+		t.Fatalf("final: cum=%d ranges=%v", f.cum, f.ranges)
 	}
 }
 
 func TestReceiverRecordOverflowDropsLowest(t *testing.T) {
-	r := &Receiver{}
+	f := &flowState{}
 	// Every other sequence: maxTrackedRanges+1 disjoint singletons.
 	for i := 0; i <= maxTrackedRanges; i++ {
-		expectRecord(t, r, int64(2*i+2), true)
+		expectRecord(t, f, int64(2*i+2), true)
 	}
-	if len(r.ranges) != maxTrackedRanges {
-		t.Fatalf("len(ranges)=%d want %d", len(r.ranges), maxTrackedRanges)
+	if len(f.ranges) != maxTrackedRanges {
+		t.Fatalf("len(ranges)=%d want %d", len(f.ranges), maxTrackedRanges)
 	}
-	if r.ranges[0].Start != 4 {
-		t.Fatalf("lowest range should have been discarded, got %v", r.ranges[0])
+	if f.ranges[0].Start != 4 {
+		t.Fatalf("lowest range should have been discarded, got %v", f.ranges[0])
+	}
+}
+
+// Duplicated packets must never double-count: the ack view (cum +
+// ranges) after N distinct packets delivered with each packet repeated
+// k times must equal the view after each packet delivered once.
+func TestReceiverRecordDuplicationNoDoubleCount(t *testing.T) {
+	f := &flowState{}
+	newCount := 0
+	for i := int64(0); i < 50; i++ {
+		for rep := 0; rep < 3; rep++ {
+			if f.record(i) {
+				newCount++
+			}
+		}
+	}
+	if newCount != 50 {
+		t.Fatalf("newCount=%d want 50 (duplicates double-counted)", newCount)
+	}
+	if f.cum != 50 || len(f.ranges) != 0 {
+		t.Fatalf("cum=%d ranges=%v", f.cum, f.ranges)
+	}
+	// Duplicates of out-of-order packets sitting in SACK ranges.
+	g := &flowState{}
+	for _, seq := range []int64{5, 5, 7, 7, 5, 9, 7} {
+		g.record(seq)
+	}
+	want := []SackBlock{{5, 6}, {7, 8}, {9, 10}}
+	if g.cum != 0 || len(g.ranges) != len(want) {
+		t.Fatalf("cum=%d ranges=%v", g.cum, g.ranges)
+	}
+	for i, bl := range want {
+		if g.ranges[i] != bl {
+			t.Fatalf("ranges=%v want %v", g.ranges, want)
+		}
+	}
+}
+
+// Severe reordering: delivering a window of sequences in any
+// permutation (with some repeated) must converge to the same ack view
+// — cum past the window, no residual ranges — and every intermediate
+// state must be internally consistent (sorted, disjoint, above cum).
+func TestReceiverRecordSevereReordering(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		const n = 200
+		order := rng.Perm(n)
+		f := &flowState{}
+		for _, v := range order {
+			f.record(int64(v))
+			if rng.Intn(4) == 0 {
+				f.record(int64(v)) // sprinkle duplicates
+			}
+			checkFlowConsistent(t, f)
+		}
+		if f.cum != n || len(f.ranges) != 0 {
+			t.Fatalf("trial %d: cum=%d ranges=%v", trial, f.cum, f.ranges)
+		}
+	}
+}
+
+func checkFlowConsistent(t *testing.T, f *flowState) {
+	t.Helper()
+	prev := f.cum
+	for i, bl := range f.ranges {
+		if bl.Start >= bl.End {
+			t.Fatalf("range %d inverted: %v", i, f.ranges)
+		}
+		if bl.Start < prev {
+			t.Fatalf("range %d overlaps/below cum=%d: %v", i, f.cum, f.ranges)
+		}
+		prev = bl.End
+	}
+}
+
+// Per-source flow isolation and bounded state: distinct sources get
+// distinct ack state, the flow cap evicts the stalest flow, and the
+// idle sweep reclaims silent flows.
+func TestReceiverFlowEvictionBounds(t *testing.T) {
+	r := &Receiver{MaxFlows: 4, IdleTimeout: 10, flows: map[netip.AddrPort]*flowState{}}
+	for i := 0; i < 8; i++ {
+		f := r.flow(testAddr(i), float64(i))
+		f.lastSeen = float64(i)
+		f.record(int64(i))
+	}
+	if len(r.flows) != 4 {
+		t.Fatalf("flows=%d want 4 (cap not enforced)", len(r.flows))
+	}
+	if r.evicted != 4 {
+		t.Fatalf("evicted=%d want 4", r.evicted)
+	}
+	// The survivors must be the 4 most recently seen sources.
+	for i := 4; i < 8; i++ {
+		if _, ok := r.flows[testAddr(i)]; !ok {
+			t.Fatalf("flow %d missing: %v", i, r.flows)
+		}
+	}
+	// Idle sweep: advance past the deadline for flows 4 and 5 only.
+	r.flows[testAddr(6)].lastSeen = 100
+	r.flows[testAddr(7)].lastSeen = 100
+	r.sweep(101)
+	if len(r.flows) != 2 {
+		t.Fatalf("after sweep: flows=%d want 2", len(r.flows))
+	}
+	if r.evicted != 6 {
+		t.Fatalf("evicted=%d want 6", r.evicted)
 	}
 }

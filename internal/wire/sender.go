@@ -35,6 +35,25 @@ const (
 	maxSleep = time.Millisecond
 	// rtoCheckEvery throttles the timeout scan on the send path.
 	rtoCheckEvery = 0.010
+	// maxRTOBackoff caps the exponential RTO backoff exponent: across
+	// consecutive ack-less expiries the effective RTO doubles up to
+	// 2^maxRTOBackoff times, so a dead path costs geometrically fewer
+	// spurious loss declarations instead of one per scan forever.
+	maxRTOBackoff = 4
+	// maxRTOCap bounds the backed-off RTO in seconds (unless the base
+	// RTO estimate itself already exceeds it).
+	maxRTOCap = 3.0
+	// watchdogFloor is the minimum ack-silence (seconds) before the
+	// stall watchdog may trip; 2*RTO applies when that is larger.
+	watchdogFloor = 0.5
+	// probeEvery is the keep-alive probe cadence (seconds) during an
+	// outage: cheap header-only packets that bypass the controller and
+	// whose first ack signals the path has healed.
+	probeEvery = 0.25
+	// maxUnackedRecs bounds the sender's in-flight bookkeeping. The RTO
+	// normally retires records long before this; the cap is the
+	// backstop guaranteeing no state growth when acks never come.
+	maxUnackedRecs = 1 << 16
 	// schedSlack is how far past one bucket depth the pacing schedule
 	// may trail the wall clock before an idle restart re-anchors it.
 	// Steady sending keeps the schedule within a bucket depth of the
@@ -64,6 +83,13 @@ type SenderStats struct {
 	SRTT       float64
 	MinRTT     float64
 	RateMbps   float64 // controller target rate at snapshot time
+
+	BadAcks       int64 // datagrams the ack codec rejected
+	ProbesSent    int64 // keep-alive probes emitted during outages
+	WatchdogTrips int64 // stall-watchdog activations
+	Recoveries    int64 // outages ended by a delivered ack
+	UnackedRecs   int   // live sender bookkeeping records
+	InOutage      bool  // watchdog currently tripped
 }
 
 // Sender drives one congestion-controlled flow over a datagram socket.
@@ -123,6 +149,21 @@ type Sender struct {
 	schedAnchor  bool    // sched has been anchored since the last idle
 	rttSamples   []RTTSample
 
+	// Survival machinery: exponential RTO backoff plus a stall watchdog
+	// that freezes the controller during a path outage and re-probes
+	// from the last known-good rate once the path heals.
+	rtoBackoff   int
+	lastAckAt    float64 // sender-clock time of the last decoded ack
+	lastGoodRate float64 // controller rate (B/s) at the last ack
+	outage       bool
+	outageAt     float64
+	resumeRate   float64 // rate to restore on recovery (B/s)
+	nextProbeAt  float64
+	badAcks      int64
+	probes       int64
+	wdTrips      int64
+	wdRecoveries int64
+
 	sendBuf []byte
 	ackBuf  [MaxAckLen]byte
 	ack     AckPacket
@@ -147,6 +188,7 @@ type wireRec struct {
 	mi     int64
 	acked  bool
 	lost   bool
+	probe  bool // keep-alive probe: invisible to the controller
 }
 
 // Start validates configuration and launches the datapath goroutines.
@@ -214,6 +256,42 @@ func (s *Sender) Stats() SenderStats {
 		Inflight: s.inflight,
 		SRTT:     s.rtt.SRTT(), MinRTT: s.rtt.MinRTT(),
 		RateMbps: s.CC.PacingRate() * 8 / 1e6,
+		BadAcks:  s.badAcks, ProbesSent: s.probes,
+		WatchdogTrips: s.wdTrips, Recoveries: s.wdRecoveries,
+		UnackedRecs: len(s.unacked), InOutage: s.outage,
+	}
+}
+
+// NoteFault stamps a chaos fault transition onto this flow's trace
+// timeline; the loopback chaos executor calls it as steps apply, so a
+// wire trace carries the same fault events a simulated run would.
+func (s *Sender) NoteFault(name string, active, value float64) {
+	s.mu.Lock()
+	s.tr.Fault(s.clock.Now(), name, active, value)
+	s.mu.Unlock()
+}
+
+// Drain waits for the flow to go idle (nothing outstanding) or the
+// timeout to elapse, whichever is first, and reports whether the flow
+// drained. proteusd uses it for graceful shutdown: stop offering new
+// data, let in-flight packets resolve, then Stop.
+func (s *Sender) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		idle := s.inflight == 0
+		s.mu.Unlock()
+		if idle {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		select {
+		case <-s.done:
+			return false
+		case <-time.After(10 * time.Millisecond):
+		}
 	}
 }
 
@@ -240,6 +318,31 @@ func (s *Sender) sendLoop() {
 		if now-s.lastRTOCheck >= rtoCheckEvery {
 			s.lastRTOCheck = now
 			s.checkRTO(now)
+			// Stall watchdog: with data outstanding (prune leaves the
+			// head record live, so non-empty unacked means outstanding)
+			// and no ack for 2*RTO (floored), declare an outage.
+			if !s.outage && s.sentPkts > 0 && len(s.unacked) > 0 &&
+				now-s.lastAckAt >= s.watchdogTimeout() {
+				s.tripWatchdog(now)
+			}
+		}
+		if s.outage {
+			// Data sending is frozen; only cheap keep-alive probes go
+			// out, hunting for the first ack that proves the path healed.
+			if now >= s.nextProbeAt {
+				s.nextProbeAt = now + probeEvery
+				if !s.sendProbe(now) {
+					s.mu.Unlock()
+					return
+				}
+			}
+			s.mu.Unlock()
+			select {
+			case <-s.done:
+				return
+			case <-time.After(maxSleep):
+			}
+			continue
 		}
 		rate := s.pacingRate()
 		s.pacer.advance(now, rate)
@@ -359,11 +462,12 @@ func (s *Sender) limitReached() bool {
 // (<= now). It reports false on a permanent socket error. Called with
 // the mutex held.
 func (s *Sender) emit(now, virt float64, size int) bool {
+	s.capUnacked(now)
 	s.sp = transport.SentPacket{Seq: s.seq, Size: size, SentAt: virt}
 	s.CC.OnSend(now, &s.sp)
 	rec := s.newRec()
 	rec.seq, rec.size, rec.sentAt, rec.wallAt, rec.mi = s.seq, size, virt, now, s.sp.MI
-	rec.acked, rec.lost = false, false
+	rec.acked, rec.lost, rec.probe = false, false, false
 	s.seq++
 	s.unacked = append(s.unacked, rec)
 	s.inflight += size
@@ -378,6 +482,112 @@ func (s *Sender) emit(now, virt float64, size int) bool {
 		return !isClosed(err)
 	}
 	return true
+}
+
+// sendProbe emits one header-only keep-alive packet during an outage.
+// Probes carry real sequence numbers (so the receiver acks them like
+// any data) but are invisible to the controller: no OnSend, no
+// inflight, no byte accounting. Called with the mutex held; reports
+// false on a closed socket.
+func (s *Sender) sendProbe(now float64) bool {
+	s.capUnacked(now)
+	rec := s.newRec()
+	rec.seq, rec.size, rec.sentAt, rec.wallAt, rec.mi = s.seq, DataHeaderLen, now, now, 0
+	rec.acked, rec.lost, rec.probe = false, false, true
+	s.seq++
+	s.unacked = append(s.unacked, rec)
+	s.probes++
+	pkt := EncodeData(s.sendBuf, DataHeader{Seq: rec.seq, SentAt: s.clock.NanosAt(now)}, DataHeaderLen)
+	if _, err := s.Conn.Write(pkt); err != nil {
+		return !isClosed(err)
+	}
+	return true
+}
+
+// capUnacked enforces the bookkeeping bound: at the cap, the oldest
+// record is force-retired (declared lost if still outstanding) so the
+// slice cannot grow without limit when acks never arrive. Called with
+// the mutex held.
+func (s *Sender) capUnacked(now float64) {
+	if len(s.unacked) < maxUnackedRecs {
+		return
+	}
+	if rec := s.unacked[0]; !rec.acked && !rec.lost {
+		s.markLost(rec, now, "evicted")
+	}
+	s.prune()
+}
+
+// effRTO is the retransmission timeout with exponential backoff
+// applied: base*2^rtoBackoff, capped at maxRTOCap unless the base
+// estimate already exceeds the cap.
+func (s *Sender) effRTO() float64 {
+	base := s.rtt.RTO()
+	rto := base
+	for i := 0; i < s.rtoBackoff; i++ {
+		rto *= 2
+	}
+	if rto > maxRTOCap {
+		rto = math.Max(maxRTOCap, base)
+	}
+	return rto
+}
+
+func (s *Sender) watchdogTimeout() float64 {
+	w := 2 * s.rtt.RTO()
+	if w < watchdogFloor {
+		w = watchdogFloor
+	}
+	return w
+}
+
+// tripWatchdog enters outage mode: data sending freezes, the
+// controller's measurement state is parked (OutageAware when the
+// controller supports it, the app-pause path otherwise), and probing
+// begins. Called with the mutex held.
+func (s *Sender) tripWatchdog(now float64) {
+	s.outage = true
+	s.outageAt = now
+	s.wdTrips++
+	s.resumeRate = s.lastGoodRate
+	s.nextProbeAt = now // first probe on the next wake
+	s.tr.Fault(now, "watchdog-trip", 1, now-s.lastAckAt)
+	switch cc := s.CC.(type) {
+	case transport.OutageAware:
+		cc.OnOutage(now)
+	case transport.PauseAware:
+		cc.OnAppPause(now)
+	}
+}
+
+// noteAck records ack liveness: backoff resets, and a delivered ack
+// during an outage is proof the path healed. Called with the mutex
+// held, from processAck, before any per-packet work.
+func (s *Sender) noteAck(now float64) {
+	s.lastAckAt = now
+	s.rtoBackoff = 0
+	if s.outage {
+		s.recoverFromOutage(now)
+	}
+}
+
+// recoverFromOutage leaves outage mode and restores the pre-outage
+// rate (the controller re-enters probing from there rather than
+// crawling up from a loss-collapsed rate). Called with the mutex held.
+func (s *Sender) recoverFromOutage(now float64) {
+	s.outage = false
+	s.wdRecoveries++
+	s.tr.Fault(now, "watchdog-recover", 0, now-s.outageAt)
+	switch cc := s.CC.(type) {
+	case transport.OutageAware:
+		cc.OnRecovery(now, s.resumeRate)
+	case transport.PauseAware:
+		cc.OnAppResume(now)
+	}
+	// Re-anchor pacing: the dead time must not turn into a catch-up
+	// burst or stale schedule stamps.
+	s.schedAnchor = false
+	s.pacer.reset(now)
 }
 
 // pacingRate mirrors the simulated transport's convention: an explicit
@@ -414,10 +624,18 @@ func (s *Sender) recvLoop() {
 			if isTimeout(err) {
 				continue
 			}
-			return // socket closed
+			if isClosed(err) {
+				return
+			}
+			// Transient socket errors (e.g. ICMP port-unreachable while
+			// the peer restarts) must not kill the ack path.
+			time.Sleep(time.Millisecond)
+			continue
 		}
 		s.mu.Lock()
-		if DecodeAck(buf[:n], &s.ack) {
+		if derr := DecodeAck(buf[:n], &s.ack); derr != nil {
+			s.badAcks++
+		} else {
 			s.processAck(&s.ack)
 		}
 		s.mu.Unlock()
@@ -429,6 +647,7 @@ func (s *Sender) recvLoop() {
 // Called with the mutex held.
 func (s *Sender) processAck(a *AckPacket) {
 	now := s.clock.Now()
+	s.noteAck(now) // any decoded ack is liveness: resets backoff, ends outages
 	if a.Seq > s.maxSack {
 		s.maxSack = a.Seq
 	}
@@ -455,6 +674,12 @@ func (s *Sender) processAck(a *AckPacket) {
 	}
 	s.detectLosses(now)
 	s.prune()
+	// The last ack-time rate is what recovery restores: acks stop the
+	// moment an outage starts, so this is the pre-outage rate, not the
+	// loss-collapsed one the controller decays to while blacked out.
+	if r := s.CC.PacingRate(); r > 0 {
+		s.lastGoodRate = r
+	}
 	if s.Limit > 0 && s.ackedBytes >= s.Limit {
 		s.compOnce.Do(func() { close(s.complete) })
 	}
@@ -472,6 +697,11 @@ func (a *AckPacket) Covers(seq int64) bool {
 
 func (s *Sender) ackRec(rec *wireRec, now, recvAt float64) {
 	rec.acked = true
+	if rec.probe {
+		// Probes exist only for liveness (noteAck already consumed it);
+		// they carry no bytes the controller should hear about.
+		return
+	}
 	s.inflight -= rec.size
 	s.ackedPkts++
 	s.ackedBytes += int64(rec.size)
@@ -536,7 +766,8 @@ func (s *Sender) reorderWindow() float64 {
 // checkRTO declares every outstanding packet older than the RTO lost —
 // the backstop when acks stop entirely. Called with the mutex held.
 func (s *Sender) checkRTO(now float64) {
-	rto := s.rtt.RTO()
+	rto := s.effRTO()
+	declared := false
 	for _, rec := range s.unacked {
 		if rec.acked || rec.lost {
 			continue
@@ -545,12 +776,23 @@ func (s *Sender) checkRTO(now float64) {
 			break // sorted by send time: the rest are younger
 		}
 		s.markLost(rec, now, "rto")
+		declared = true
+	}
+	// Back off only when the expiry happened in true ack silence (no
+	// ack for a full RTO): straggler declarations while acks still
+	// flow are ordinary congestion, not a dead path. Any delivered
+	// ack resets the backoff in noteAck.
+	if declared && now-s.lastAckAt >= rto && s.rtoBackoff < maxRTOBackoff {
+		s.rtoBackoff++
 	}
 	s.prune()
 }
 
 func (s *Sender) markLost(rec *wireRec, now float64, reason string) {
 	rec.lost = true
+	if rec.probe {
+		return // never in inflight, never reported to the controller
+	}
 	s.inflight -= rec.size
 	s.lostPkts++
 	s.lostBytes += int64(rec.size)

@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"pccproteus/internal/chaos"
 )
 
 // ShimConfig parameterizes the emulated bottleneck the shim inserts
@@ -32,7 +34,9 @@ type ShimConfig struct {
 	Seed int64
 }
 
-// ShimStats aggregates the shim's counters, mirroring netem.LinkStats.
+// ShimStats aggregates the shim's counters, mirroring netem.LinkStats
+// (including the fault-attribution counters, so a chaos plan replayed
+// through both worlds can be compared category by category).
 type ShimStats struct {
 	Enqueued   int64 // data packets accepted into the queue
 	Dropped    int64 // data packets tail-dropped
@@ -41,6 +45,14 @@ type ShimStats struct {
 	AcksRelay  int64 // acks forwarded to the sender
 	Overflow   int64 // packets lost to shim internal backlog (should be 0)
 	SentBytes  int64 // bytes serialized through the emulated bottleneck
+
+	FaultDrop    int64 // data packets destroyed by an injected blackout
+	AckFaultDrop int64 // acks destroyed by a blackout or ack-path blackout
+	Corrupted    int64 // data packets damaged in flight by injected corruption
+	Duplicated   int64 // extra copies created by injected duplication
+	Reordered    int64 // data packets released out of order
+	Flushed      int64 // in-flight data packets discarded by a peer restart
+	AckFlushed   int64 // in-flight acks discarded by a peer restart
 }
 
 // ShimUpdate is one timed impairment change, used to replay adversary
@@ -57,11 +69,16 @@ type ShimUpdate struct {
 // forwardItem is one datagram scheduled for release at a deadline.
 // Deadlines within one channel are nondecreasing by construction, so
 // a single goroutine draining the channel in FIFO order preserves
-// both timing and ordering without a timer heap.
+// both timing and ordering without a timer heap. (Reorder-selected
+// packets go to a separate channel precisely because their deadlines
+// break this invariant for the main stream.) epoch stamps the restart
+// epoch at enqueue: items from a flushed epoch are discarded at
+// release.
 type forwardItem struct {
-	at  float64
-	buf []byte
-	n   int
+	at    float64
+	buf   []byte
+	n     int
+	epoch uint64
 }
 
 // Shim is a userspace netem: a UDP proxy that receives the sender's
@@ -95,14 +112,17 @@ type Shim struct {
 	lastAckOut  float64
 	senderAddr  *net.UDPAddr
 	stats       ShimStats
+	fault       chaos.PathState // current injected fault state
+	epoch       uint64          // restart epoch; bumped by Flush
 
 	// Capacity integral for the wire-capacity invariant: capBytes
 	// accumulates rate·dt across rate changes.
 	capBytes  float64
 	capSinceT float64
 
-	dataCh chan forwardItem
-	ackCh  chan forwardItem
+	dataCh    chan forwardItem
+	ackCh     chan forwardItem
+	reorderCh chan forwardItem
 
 	bufPool sync.Pool
 
@@ -142,6 +162,7 @@ func NewShim(cfg ShimConfig, dst *net.UDPAddr) (*Shim, error) {
 		rng:         rand.New(rand.NewSource(MixSeed(seed, 0x5153))),
 		dataCh:      make(chan forwardItem, 1<<14),
 		ackCh:       make(chan forwardItem, 1<<14),
+		reorderCh:   make(chan forwardItem, 1<<12),
 	}
 	sh.bufPool.New = func() any { return make([]byte, 65536) }
 	return sh, nil
@@ -160,10 +181,11 @@ func (sh *Shim) Start() error {
 	sh.inBase, sh.inCal = 0, false
 	sh.done = make(chan struct{})
 	sh.started = true
-	sh.wg.Add(3)
+	sh.wg.Add(4)
 	go sh.readLoop()
 	go sh.forwardData()
 	go sh.forwardAcks()
+	go sh.forwardReorder()
 	return nil
 }
 
@@ -205,6 +227,25 @@ func (sh *Shim) Update(u ShimUpdate) {
 	}
 }
 
+// SetFault replaces the shim's injected fault state — the wire-world
+// applier of a chaos plan (the sim-world twin is chaos.ApplySim
+// setting the same fields on netem.Link/Path).
+func (sh *Shim) SetFault(st chaos.PathState) {
+	sh.mu.Lock()
+	sh.fault = st
+	sh.mu.Unlock()
+}
+
+// Flush models a peer restart: every datagram currently inside the
+// emulated path (queued for release) is discarded at its release time
+// and counted as Flushed/AckFlushed, mirroring netem's Link.Flush and
+// Path.Flush.
+func (sh *Shim) Flush() {
+	sh.mu.Lock()
+	sh.epoch++
+	sh.mu.Unlock()
+}
+
 // CapacityBytes returns the integral of the (possibly time-varying)
 // emulated capacity from Start until now, in bytes — the denominator
 // of the wire-capacity invariant.
@@ -237,7 +278,13 @@ func (sh *Shim) readLoop() {
 			if isTimeout(err) {
 				continue
 			}
-			return
+			if isClosed(err) {
+				return
+			}
+			// Transient socket errors (e.g. ICMP unreachable surfaced
+			// while a peer restarts) must not kill the proxy loop.
+			time.Sleep(time.Millisecond)
+			continue
 		}
 		switch PacketType(buf[:n]) {
 		case typeData:
@@ -265,13 +312,20 @@ func (sh *Shim) readLoop() {
 // the same amount. Physical forwarding still happens at the scheduled
 // wall time; only measurement uses the virtual stamps.
 func (sh *Shim) handleData(buf []byte, n int, src *net.UDPAddr) {
-	h, okh := DecodeData(buf[:n])
-	if !okh {
+	h, err := DecodeData(buf[:n])
+	if err != nil {
 		return
 	}
 	sh.mu.Lock()
 	if sh.senderAddr == nil || !sh.senderAddr.IP.Equal(src.IP) || sh.senderAddr.Port != src.Port {
 		sh.senderAddr = src // learn/refresh the sender's return address
+	}
+	if sh.fault.LinkDown {
+		// Blackout destroys the packet before any queue or capacity
+		// accounting — the same attribution point as netem.Link.Send.
+		sh.stats.FaultDrop++
+		sh.mu.Unlock()
+		return
 	}
 	now := sh.clock.Now()
 	sh.accrueCapacity(now)
@@ -306,25 +360,65 @@ func (sh *Shim) handleData(buf []byte, n int, src *net.UDPAddr) {
 	if sh.jitterMed > 0 {
 		jitter = sh.jitterMed * math.Exp(sh.jitterSigma*sh.rng.NormFloat64())
 	}
+	// Fault draws follow the legacy draws, each gated on its
+	// probability, matching the draw order in netem.Link.Send.
+	corrupt := sh.fault.CorruptProb > 0 && sh.rng.Float64() < sh.fault.CorruptProb
+	dup := sh.fault.DupProb > 0 && sh.rng.Float64() < sh.fault.DupProb
+	reorder := sh.fault.ReorderProb > 0 && sh.rng.Float64() < sh.fault.ReorderProb
 	arrival := txEnd + sh.delay + jitter
+	ch := sh.dataCh
 	// Jitter is head-of-line blocking, exactly as in netem.Link:
 	// delivery order is preserved, which also keeps the forwarder's
-	// single-goroutine FIFO release correct.
-	if arrival < sh.lastArrival {
-		arrival = sh.lastArrival
+	// single-goroutine FIFO release correct. A reorder-selected packet
+	// is the deliberate exception: it is held ReorderDelay extra,
+	// bypasses the clamp, and releases on its own channel so it can
+	// overtake — or be overtaken by — the main stream.
+	if reorder {
+		sh.stats.Reordered++
+		arrival += sh.fault.ReorderDelay
+		ch = sh.reorderCh
+	} else {
+		if arrival < sh.lastArrival {
+			arrival = sh.lastArrival
+		}
+		sh.lastArrival = arrival
 	}
-	sh.lastArrival = arrival
 	sh.stats.SentBytes += int64(n)
 	if lost {
 		sh.stats.LostRandom++
 		sh.mu.Unlock()
 		return
 	}
+	// A receiver clock jump shifts the stamped arrival the endpoints
+	// measure with, not the physical forwarding time.
+	stamp := sh.clock.NanosAt(arrival + sh.fault.ClockOffset)
 	b := sh.bufPool.Get().([]byte)
 	copy(b, buf[:n])
-	StampArrival(b[:n], sh.clock.NanosAt(arrival))
-	if !sh.enqueue(sh.dataCh, forwardItem{at: arrival, buf: b, n: n}) {
+	if corrupt {
+		// Deterministic mangle: version byte plus the tail byte. The
+		// packet still traverses and is forwarded — the receiver's
+		// hardened codec is what rejects it, exercising the survival
+		// path end-to-end (netem, with no codec in the loop, destroys
+		// the packet at delivery instead; attribution matches).
+		sh.stats.Corrupted++
+		b[1] ^= 0xa5
+		b[n-1] ^= 0xff
+	} else {
+		StampArrival(b[:n], stamp)
+	}
+	if !sh.enqueue(ch, forwardItem{at: arrival, buf: b, n: n, epoch: sh.epoch}) {
 		sh.bufPool.Put(b)
+	}
+	if dup {
+		// The duplicate copy arrives clean alongside the original
+		// (only the first copy was damaged), as in netem.
+		sh.stats.Duplicated++
+		b2 := sh.bufPool.Get().([]byte)
+		copy(b2, buf[:n])
+		StampArrival(b2[:n], stamp)
+		if !sh.enqueue(ch, forwardItem{at: arrival, buf: b2, n: n, epoch: sh.epoch}) {
+			sh.bufPool.Put(b2)
+		}
 	}
 	sh.mu.Unlock()
 }
@@ -336,6 +430,11 @@ func (sh *Shim) handleAck(buf []byte, n int) {
 		sh.mu.Unlock()
 		return
 	}
+	if sh.fault.LinkDown || sh.fault.AckDown {
+		sh.stats.AckFaultDrop++
+		sh.mu.Unlock()
+		return
+	}
 	now := sh.clock.Now()
 	out := now + sh.ackDelay
 	if out < sh.lastAckOut {
@@ -344,7 +443,7 @@ func (sh *Shim) handleAck(buf []byte, n int) {
 	sh.lastAckOut = out
 	b := sh.bufPool.Get().([]byte)
 	copy(b, buf[:n])
-	if !sh.enqueue(sh.ackCh, forwardItem{at: out, buf: b, n: n}) {
+	if !sh.enqueue(sh.ackCh, forwardItem{at: out, buf: b, n: n, epoch: sh.epoch}) {
 		sh.bufPool.Put(b)
 	}
 	sh.mu.Unlock()
@@ -378,18 +477,37 @@ func (sh *Shim) sleepUntil(at float64) bool {
 
 func (sh *Shim) forwardData() {
 	defer sh.wg.Done()
+	sh.drainForward(sh.dataCh)
+}
+
+// forwardReorder releases reorder-selected packets on their own
+// timeline, letting them land out of order relative to the main
+// stream.
+func (sh *Shim) forwardReorder() {
+	defer sh.wg.Done()
+	sh.drainForward(sh.reorderCh)
+}
+
+func (sh *Shim) drainForward(ch chan forwardItem) {
 	for {
 		select {
 		case <-sh.done:
 			return
-		case it := <-sh.dataCh:
+		case it := <-ch:
 			if !sh.sleepUntil(it.at) {
 				return
 			}
-			sh.conn.WriteToUDP(it.buf[:it.n], sh.dst)
 			sh.mu.Lock()
-			sh.stats.Delivered++
+			stale := it.epoch != sh.epoch
+			if stale {
+				sh.stats.Flushed++
+			} else {
+				sh.stats.Delivered++
+			}
 			sh.mu.Unlock()
+			if !stale {
+				sh.conn.WriteToUDP(it.buf[:it.n], sh.dst)
+			}
 			sh.bufPool.Put(it.buf)
 		}
 	}
@@ -407,7 +525,12 @@ func (sh *Shim) forwardAcks() {
 			}
 			sh.mu.Lock()
 			dst := sh.senderAddr
-			sh.stats.AcksRelay++
+			if it.epoch != sh.epoch {
+				sh.stats.AckFlushed++
+				dst = nil
+			} else {
+				sh.stats.AcksRelay++
+			}
 			sh.mu.Unlock()
 			if dst != nil {
 				sh.conn.WriteToUDP(it.buf[:it.n], dst)
