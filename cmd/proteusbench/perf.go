@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"pccproteus/internal/sim"
+	"pccproteus/internal/wire"
+)
+
+// perfResult is one micro-benchmark's outcome in BENCH_proteus.json.
+type perfResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	N           int     `json:"n"`
+}
+
+// perfReport is the BENCH_proteus.json schema: hot-path numbers the
+// roadmap tracks across versions. sim_events_per_sec is the headline —
+// campaign throughput is bounded by it.
+type perfReport struct {
+	Schema          string                `json:"schema"`
+	GoVersion       string                `json:"go_version"`
+	GOARCH          string                `json:"goarch"`
+	SimEventsPerSec float64               `json:"sim_events_per_sec"`
+	Benchmarks      map[string]perfResult `json:"benchmarks"`
+}
+
+func toPerfResult(r testing.BenchmarkResult) perfResult {
+	out := perfResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		N:           r.N,
+	}
+	if r.Bytes > 0 && r.T > 0 {
+		out.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	return out
+}
+
+// benchSimEvent measures the schedule→pop→execute cycle of the event
+// queue with the free list hot.
+func benchSimEvent(b *testing.B) {
+	s := sim.New(1)
+	b.ReportAllocs()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(0.001, tick)
+		}
+	}
+	s.After(0, tick)
+	b.ResetTimer()
+	s.Run(1e18)
+}
+
+// benchDataCodec measures data-header encode+decode round trips.
+func benchDataCodec(b *testing.B) {
+	buf := make([]byte, 1500)
+	h := wire.DataHeader{Seq: 42, SentAt: 123456789}
+	b.ReportAllocs()
+	b.SetBytes(1200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Seq = int64(i)
+		pkt := wire.EncodeData(buf, h, 1200)
+		if _, err := wire.DecodeData(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchAckCodec measures ack encode+decode round trips with SACK blocks.
+func benchAckCodec(b *testing.B) {
+	var buf [wire.MaxAckLen]byte
+	a := wire.AckPacket{Seq: 1, CumAck: 2, RecvAt: 123456789,
+		Blocks: []wire.SackBlock{{Start: 10, End: 12}, {Start: 20, End: 25}}}
+	var out wire.AckPacket
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Seq = int64(i)
+		pkt := a.Encode(buf[:])
+		if err := wire.DecodeAck(pkt, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runPerf runs every hot-path micro-benchmark and writes the report.
+func runPerf(w io.Writer, outPath string) error {
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"sim_event", benchSimEvent},
+		{"wire_data_codec", benchDataCodec},
+		{"wire_ack_codec", benchAckCodec},
+		{"wire_pacer_send", wire.RunPacerBench},
+		{"wire_ack_process", wire.RunAckBench},
+	}
+	rep := perfReport{
+		Schema:     "proteusbench-perf/v1",
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: map[string]perfResult{},
+	}
+	fmt.Fprintf(w, "# proteusbench -perf (%s %s)\n", rep.GoVersion, rep.GOARCH)
+	fmt.Fprintf(w, "%-18s %12s %10s %10s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op", "MB/s")
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		if r.N == 0 {
+			return fmt.Errorf("benchmark %s did not run", bench.name)
+		}
+		pr := toPerfResult(r)
+		rep.Benchmarks[bench.name] = pr
+		mbs := "-"
+		if pr.MBPerSec > 0 {
+			mbs = fmt.Sprintf("%.1f", pr.MBPerSec)
+		}
+		fmt.Fprintf(w, "%-18s %12.1f %10d %10d %12s\n",
+			bench.name, pr.NsPerOp, pr.BytesPerOp, pr.AllocsPerOp, mbs)
+	}
+	rep.SimEventsPerSec = 1e9 / rep.Benchmarks["sim_event"].NsPerOp
+	fmt.Fprintf(w, "sim events/sec: %.2fM\n", rep.SimEventsPerSec/1e6)
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", outPath)
+	return nil
+}

@@ -1,0 +1,192 @@
+package campaign_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pccproteus/internal/campaign"
+	"pccproteus/internal/exp"
+)
+
+// testSpec is a small but non-trivial campaign: all three topology
+// kinds, a mixed population, enough scenarios to exercise sharding.
+func testSpec() campaign.Spec {
+	return campaign.Spec{
+		Name:      "test",
+		Seed:      7,
+		Scenarios: 12,
+		Duration:  8,
+		Topology: []campaign.TopologySpec{
+			{Kind: campaign.TopoDumbbell, Weight: 1},
+			{Kind: campaign.TopoParkingLot, Weight: 1},
+			{Kind: campaign.TopoSharedUplink, Weight: 1},
+		},
+		Pop: campaign.PopulationSpec{
+			ArrivalRate: 3,
+			DiurnalAmp:  0.5,
+			FlowKB:      campaign.Range{Lo: 30, Hi: 2000},
+			MaxFlows:    20,
+			Mix: []campaign.MixEntry{
+				{Proto: "proteus-p", Weight: 0.4},
+				{Proto: "proteus-s", Weight: 0.4},
+				{Proto: "cubic", Weight: 0.2},
+			},
+		},
+	}
+}
+
+func runJSON(t *testing.T, spec campaign.Spec, workers int) []byte {
+	t.Helper()
+	agg, err := campaign.Run(spec, campaign.RunOpts{
+		Workers:       workers,
+		NewController: exp.NewControllerRNG,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := campaign.EncodeJSON(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCampaignDeterminismAcrossWorkers is the load-bearing guarantee:
+// the same spec and seed produce byte-identical aggregate JSON with 1,
+// 4, and 16 workers.
+func TestCampaignDeterminismAcrossWorkers(t *testing.T) {
+	spec := testSpec()
+	want := runJSON(t, spec, 1)
+	for _, workers := range []int{4, 16} {
+		if got := runJSON(t, spec, workers); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d aggregate differs from sequential run:\n%s\nvs\n%s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestCampaignSanity checks the aggregate's internal accounting.
+func TestCampaignSanity(t *testing.T) {
+	agg, err := campaign.Run(testSpec(), campaign.RunOpts{NewController: exp.NewControllerRNG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Scenarios != 12 {
+		t.Fatalf("Scenarios = %d, want 12", agg.Scenarios)
+	}
+	if agg.Flows == 0 {
+		t.Fatal("campaign spawned no flows")
+	}
+	if agg.Completed == 0 || agg.Completed > agg.Flows {
+		t.Fatalf("Completed = %d of %d flows", agg.Completed, agg.Flows)
+	}
+	var classFlows, classDone int64
+	for proto, c := range agg.Classes {
+		classFlows += c.Flows
+		classDone += c.Completed
+		if c.Completed > c.Flows {
+			t.Fatalf("class %s: completed %d > flows %d", proto, c.Completed, c.Flows)
+		}
+		if int64(c.Goodput.N()) != c.Completed {
+			t.Fatalf("class %s: goodput samples %d != completed %d", proto, c.Goodput.N(), c.Completed)
+		}
+	}
+	if classFlows != agg.Flows || classDone != agg.Completed {
+		t.Fatalf("class totals %d/%d != aggregate %d/%d", classFlows, classDone, agg.Flows, agg.Completed)
+	}
+	// Every scenario contributes exactly one yield and one utilization
+	// sample.
+	if agg.ScavYield.N() != agg.Scenarios || agg.Utilization.Count != agg.Scenarios {
+		t.Fatalf("yield/util samples %d/%d, want %d", agg.ScavYield.N(), agg.Utilization.Count, agg.Scenarios)
+	}
+	if agg.YieldMoments.Mean < 0 || agg.YieldMoments.Mean > 1 {
+		t.Fatalf("mean scavenger yield %v outside [0,1]", agg.YieldMoments.Mean)
+	}
+	if agg.Utilization.Mean <= 0 {
+		t.Fatalf("mean utilization %v, want > 0", agg.Utilization.Mean)
+	}
+	if out := agg.Render(); len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+// TestCampaignMergeAccumulates checks aggregate merging across two
+// half-campaigns equals counters of the full run (integer counters;
+// float moments are checked by the determinism test).
+func TestCampaignMergeAccumulates(t *testing.T) {
+	spec := testSpec()
+	full, err := campaign.Run(spec, campaign.RunOpts{NewController: exp.NewControllerRNG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := spec
+	a.Scenarios = 12 // same scenario seeds: merging two full runs doubles counts
+	again, err := campaign.Run(a, campaign.RunOpts{NewController: exp.NewControllerRNG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Merge(again); err != nil {
+		t.Fatal(err)
+	}
+	if full.Scenarios != 24 || full.Flows != 2*again.Flows {
+		t.Fatalf("merge did not accumulate: %d scenarios, %d flows", full.Scenarios, full.Flows)
+	}
+}
+
+func TestCampaignRejectsBadSpec(t *testing.T) {
+	spec := testSpec()
+	spec.Topology = []campaign.TopologySpec{{Kind: "moebius"}}
+	if _, err := campaign.Run(spec, campaign.RunOpts{NewController: exp.NewControllerRNG}); err == nil {
+		t.Fatal("unknown topology kind accepted")
+	}
+	if _, err := campaign.Run(testSpec(), campaign.RunOpts{}); err == nil {
+		t.Fatal("missing factory accepted")
+	}
+}
+
+func TestLoadSpecRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, []byte(`{"name":"x","scenarioz":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.LoadSpec(path); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if err := os.WriteFile(path, []byte(`{"name":"x","scenarios":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := campaign.LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Scenarios != 3 || spec.Name != "x" {
+		t.Fatalf("loaded spec %+v", spec)
+	}
+}
+
+// TestCampaignGolden pins the smoke-spec aggregate byte-for-byte; CI
+// runs the same spec through proteusbench -campaign and diffs against
+// this file, so the golden guards both the library and the CLI path.
+func TestCampaignGolden(t *testing.T) {
+	spec, err := campaign.LoadSpec(filepath.Join("..", "..", "specs", "campaign-smoke.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runJSON(t, spec, 2)
+	goldenPath := filepath.Join("testdata", "smoke_aggregate.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("smoke aggregate deviates from golden (UPDATE_GOLDEN=1 to refresh):\n%s", got)
+	}
+}

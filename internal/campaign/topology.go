@@ -1,0 +1,187 @@
+package campaign
+
+import (
+	"math/rand"
+
+	"pccproteus/internal/netem"
+	"pccproteus/internal/sim"
+)
+
+// Topology kinds. Each is built from composed netem links inside one
+// simulation; flows are assigned paths through them per scenario.
+const (
+	// TopoDumbbell is the classic shared bottleneck: every flow crosses
+	// one link, with per-flow heterogeneous base RTTs on the return path.
+	TopoDumbbell = "dumbbell"
+	// TopoParkingLot chains several bottleneck segments; "long" flows
+	// traverse the whole chain while cross traffic loads one random
+	// segment, the standard multi-bottleneck fairness stressor.
+	TopoParkingLot = "parking-lot"
+	// TopoSharedUplink models the last mile: each flow enters through
+	// one of several constrained access links ("homes") that all feed a
+	// shared aggregation bottleneck.
+	TopoSharedUplink = "shared-uplink"
+)
+
+// Range is a closed interval sampled uniformly per scenario. Hi <= Lo
+// degenerates to the constant Lo, so {"lo": 20} pins a parameter.
+type Range struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+func (r Range) sample(rng *rand.Rand) float64 {
+	if r.Hi <= r.Lo {
+		return r.Lo
+	}
+	return r.Lo + rng.Float64()*(r.Hi-r.Lo)
+}
+
+func (r Range) orDefault(def Range) Range {
+	if r.Lo == 0 && r.Hi == 0 {
+		return def
+	}
+	return r
+}
+
+// TopologySpec describes one topology family in a campaign's scenario
+// mix; per-scenario parameters are drawn from the ranges.
+type TopologySpec struct {
+	Kind     string  `json:"kind"`
+	Weight   float64 `json:"weight"`    // scenario mix weight (default 1)
+	Mbps     Range   `json:"mbps"`      // bottleneck capacity
+	RTTms    Range   `json:"rtt_ms"`    // base round-trip
+	BufBDP   Range   `json:"buf_bdp"`   // queue capacity as a BDP multiple
+	LossProb Range   `json:"loss_prob"` // random non-congestion loss
+
+	// Parking-lot only: number of chained segments.
+	Segments int `json:"segments"`
+	// Shared-uplink only: access-link count and capacity range.
+	Uplinks    int   `json:"uplinks"`
+	UplinkMbps Range `json:"uplink_mbps"`
+}
+
+func (t TopologySpec) withDefaults() TopologySpec {
+	if t.Weight == 0 {
+		t.Weight = 1
+	}
+	t.Mbps = t.Mbps.orDefault(Range{10, 50})
+	t.RTTms = t.RTTms.orDefault(Range{20, 80})
+	t.BufBDP = t.BufBDP.orDefault(Range{0.5, 2})
+	if t.Segments == 0 {
+		t.Segments = 3
+	}
+	if t.Uplinks == 0 {
+		t.Uplinks = 8
+	}
+	return t
+}
+
+// pickTopology draws one topology spec by mix weight.
+func pickTopology(specs []TopologySpec, rng *rand.Rand) TopologySpec {
+	total := 0.0
+	for _, t := range specs {
+		total += t.Weight
+	}
+	x := rng.Float64() * total
+	for _, t := range specs {
+		x -= t.Weight
+		if x < 0 {
+			return t
+		}
+	}
+	return specs[len(specs)-1]
+}
+
+// topology is a built scenario substrate: assign hands each new flow a
+// path through it, capacity is the reference bottleneck in bytes/sec
+// (the denominator of utilization and scavenger yield).
+type topology struct {
+	capacity float64
+	assign   func(rng *rand.Rand) *netem.Path
+}
+
+// newLink builds a link with the buffer sized in BDP multiples of this
+// link's own rate/RTT, floored at two packets so a degenerate draw
+// still forwards traffic.
+func newLink(s *sim.Sim, mbps, rttSec, bufBDP, lossProb float64) *netem.Link {
+	buf := int(bufBDP * mbps * 1e6 / 8 * rttSec)
+	if buf < 2*netem.MTU {
+		buf = 2 * netem.MTU
+	}
+	l := netem.NewLink(s, mbps, buf, rttSec/2)
+	l.LossProb = lossProb
+	return l
+}
+
+// ackDelayFor spreads per-flow base RTTs over [0.6, 1.4]× the nominal
+// reverse delay, modeling the RTT heterogeneity of a real population.
+func ackDelayFor(rng *rand.Rand, nominal float64) float64 {
+	return nominal * (0.6 + 0.8*rng.Float64())
+}
+
+// buildTopology instantiates one sampled topology on the simulation.
+func buildTopology(s *sim.Sim, ts TopologySpec, rng *rand.Rand) topology {
+	mbps := ts.Mbps.sample(rng)
+	rtt := ts.RTTms.sample(rng) / 1000
+	bufBDP := ts.BufBDP.sample(rng)
+	loss := ts.LossProb.sample(rng)
+
+	switch ts.Kind {
+	case TopoParkingLot:
+		// k segments, each a bottleneck within ±20% of the drawn rate,
+		// splitting the forward propagation delay evenly.
+		k := ts.Segments
+		segs := make([]*netem.Link, k)
+		minRate := 0.0
+		for i := range segs {
+			m := mbps * (0.8 + 0.4*rng.Float64())
+			segs[i] = newLink(s, m, rtt/float64(k), bufBDP, loss)
+			if r := segs[i].Rate; i == 0 || r < minRate {
+				minRate = r
+			}
+		}
+		return topology{
+			capacity: minRate,
+			assign: func(rng *rand.Rand) *netem.Path {
+				p := &netem.Path{AckDelay: ackDelayFor(rng, rtt/2)}
+				if rng.Float64() < 0.5 {
+					p.Link, p.Hops = segs[0], segs[1:]
+				} else {
+					p.Link = segs[rng.Intn(k)]
+				}
+				return p
+			},
+		}
+
+	case TopoSharedUplink:
+		// Constrained access links feeding one shared aggregation
+		// bottleneck; most of the propagation delay sits behind the
+		// shared link, as on a real last mile.
+		upRange := ts.UplinkMbps.orDefault(Range{mbps * 0.1, mbps * 0.4})
+		shared := newLink(s, mbps, rtt*0.75, bufBDP, loss)
+		access := make([]*netem.Link, ts.Uplinks)
+		for i := range access {
+			access[i] = newLink(s, upRange.sample(rng), rtt*0.25, bufBDP, 0)
+		}
+		return topology{
+			capacity: shared.Rate,
+			assign: func(rng *rand.Rand) *netem.Path {
+				return &netem.Path{
+					Link:     access[rng.Intn(len(access))],
+					Hops:     []*netem.Link{shared},
+					AckDelay: ackDelayFor(rng, rtt/2),
+				}
+			},
+		}
+
+	default: // TopoDumbbell
+		link := newLink(s, mbps, rtt, bufBDP, loss)
+		return topology{
+			capacity: link.Rate,
+			assign: func(rng *rand.Rand) *netem.Path {
+				return &netem.Path{Link: link, AckDelay: ackDelayFor(rng, rtt/2)}
+			},
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"pccproteus/internal/campaign"
+)
+
+// RunCampaign executes a campaign spec against this package's protocol
+// registry — every proto name accepted by NewController is valid in a
+// spec's population mix. Workers <= 0 uses one worker per CPU; results
+// are bit-identical for any worker count.
+func RunCampaign(spec campaign.Spec, workers int) (*campaign.Aggregate, error) {
+	return campaign.Run(spec, campaign.RunOpts{
+		Workers:       workers,
+		NewController: NewControllerRNG,
+	})
+}
+
+// CampaignTable bridges a campaign aggregate into the figure pipeline:
+// one row per controller class with the distribution summaries the
+// figure tables use, renderable by Table.Render and exportable through
+// the same CSV path as every Fig* result.
+func CampaignTable(a *campaign.Aggregate) *Table {
+	t := &Table{
+		Title:   "Campaign " + a.Name + ": per-class outcomes",
+		XLabel:  "class",
+		Columns: []string{"flows", "done", "MB", "gput-p50", "gput-p90", "fct-p50", "rtt-p50(ms)", "loss-mean"},
+	}
+	for _, name := range a.ClassNames() {
+		c := a.Classes[name]
+		t.Rows = append(t.Rows, TableRow{XName: name, Cells: []float64{
+			float64(c.Flows), float64(c.Completed), float64(c.Bytes) / 1e6,
+			c.Goodput.Quantile(0.50), c.Goodput.Quantile(0.90),
+			c.FCT.Quantile(0.50), c.RTT.Quantile(0.50) * 1000, c.Loss.Mean,
+		}})
+	}
+	return t
+}
+
+// CampaignSummaryTable bridges the per-scenario distributions (scavenger
+// yield, Jain fairness over primaries, bottleneck utilization).
+func CampaignSummaryTable(a *campaign.Aggregate) *Table {
+	t := &Table{
+		Title:   "Campaign " + a.Name + ": per-scenario distributions",
+		XLabel:  "metric",
+		Columns: []string{"p10", "p50", "p90", "mean", "n"},
+	}
+	row := func(name string, h interface {
+		Quantile(float64) float64
+		N() int64
+	}, mean float64) {
+		t.Rows = append(t.Rows, TableRow{XName: name, Cells: []float64{
+			h.Quantile(0.10), h.Quantile(0.50), h.Quantile(0.90), mean, float64(h.N()),
+		}})
+	}
+	row("scav-yield", a.ScavYield, a.YieldMoments.Mean)
+	row("fairness", a.Fairness, a.FairnessMoments.Mean)
+	t.Rows = append(t.Rows, TableRow{XName: "utilization", Cells: []float64{
+		nan(), nan(), nan(), a.Utilization.Mean, float64(a.Utilization.Count),
+	}})
+	return t
+}

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"pccproteus/internal/campaign"
+)
+
+// TestCampaignBridge runs a tiny campaign through the exp registry and
+// checks the figure-table bridge renders every class.
+func TestCampaignBridge(t *testing.T) {
+	spec := campaign.Spec{
+		Seed: 3, Scenarios: 4, Duration: 6,
+		Pop: campaign.PopulationSpec{
+			ArrivalRate: 3,
+			FlowKB:      campaign.Range{Lo: 30, Hi: 500},
+			MaxFlows:    8,
+			Mix: []campaign.MixEntry{
+				{Proto: ProtoProteusP, Weight: 1},
+				{Proto: ProtoProteusS, Weight: 1},
+			},
+		},
+	}
+	agg, err := RunCampaign(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := CampaignTable(agg)
+	if len(tab.Rows) != len(agg.Classes) {
+		t.Fatalf("%d table rows for %d classes", len(tab.Rows), len(agg.Classes))
+	}
+	out := tab.Render()
+	for name := range agg.Classes {
+		if !strings.Contains(out, name) {
+			t.Fatalf("rendered table missing class %s:\n%s", name, out)
+		}
+	}
+	sum := CampaignSummaryTable(agg)
+	if len(sum.Rows) != 3 || !strings.Contains(sum.Render(), "scav-yield") {
+		t.Fatalf("summary table malformed:\n%s", sum.Render())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pccproteus/internal/campaign"
 	"pccproteus/internal/cc/allegro"
 	"pccproteus/internal/cc/bbr"
 	"pccproteus/internal/cc/copa"
@@ -203,13 +204,15 @@ func soloTraced(tc *Tracing, scenario string, seed int64, link LinkSpec, proto s
 	return runTraced(tc, scenario, seed, link, []FlowSpec{{Proto: proto}}, measureFrom, duration)[0]
 }
 
-// meanOver runs fn once per trial, deriving each trial's seed from the
-// options, and averages the results.
+// meanOver runs fn once per trial on the campaign worker pool, deriving
+// each trial's seed from the options, and averages the results.
+// OrderedReduce folds in trial order, so the mean is bit-identical to
+// the historical sequential loop regardless of Workers.
 func meanOver(o Options, fn func(seed int64) float64) float64 {
 	sum := 0.0
-	for t := 0; t < o.Trials; t++ {
-		sum += fn(o.seedFor(int64(t + 1)))
-	}
+	campaign.OrderedReduce(o.Trials, o.Workers, func(t int) float64 {
+		return fn(o.seedFor(int64(t + 1)))
+	}, func(_ int, v float64) { sum += v })
 	return sum / float64(o.Trials)
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"pccproteus/internal/campaign"
 	"pccproteus/internal/cc/cubic"
 	"pccproteus/internal/netem"
 	"pccproteus/internal/sim"
@@ -23,9 +24,14 @@ type Options struct {
 
 	// Seed offsets every per-trial RNG seed. Zero keeps the historical
 	// fixed seeds (1, 2, 3, …) so default figure output is unchanged;
-	// any other value remaps each trial seed through a splitmix64-style
-	// mix, giving an independent but still deterministic replication.
+	// any other value remaps each trial seed through campaign.SplitSeed,
+	// giving an independent but still deterministic replication.
 	Seed int64
+
+	// Workers bounds the campaign worker pool that runs independent
+	// trials. Zero means one worker per CPU. Figure output is identical
+	// for any value: trial results fold in trial order.
+	Workers int
 }
 
 // seedFor maps a stable per-trial index to the seed actually used.
@@ -33,20 +39,7 @@ func (o Options) seedFor(n int64) int64 {
 	if o.Seed == 0 {
 		return n
 	}
-	x := uint64(n) + uint64(o.Seed)*0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	s := int64(x)
-	if s < 0 {
-		s = -s
-	}
-	if s == 0 {
-		s = 1
-	}
-	return s
+	return campaign.SplitSeed(o.Seed, n)
 }
 
 func (o Options) withDefaults() Options {

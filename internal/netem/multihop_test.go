@@ -1,0 +1,117 @@
+package netem
+
+import (
+	"math"
+	"testing"
+
+	"pccproteus/internal/sim"
+)
+
+// TestMultiHopDeliveryTiming checks that a packet traversing two links
+// arrives after the sum of both serializations and propagation delays.
+func TestMultiHopDeliveryTiming(t *testing.T) {
+	s := sim.New(1)
+	l1 := NewLink(s, 8, 1<<20, 0.010) // 8 Mbps = 1e6 B/s
+	l2 := NewLink(s, 4, 1<<20, 0.020) // 4 Mbps = 5e5 B/s
+	p := &Path{Link: l1, Hops: []*Link{l2}, AckDelay: 0.005}
+
+	var got float64
+	pkt := &Packet{FlowID: 1, Seq: 0, Size: 1000}
+	if !p.Send(pkt, func(_ *Packet, arrival float64) { got = arrival }) {
+		t.Fatal("send rejected on empty queues")
+	}
+	s.Run(10)
+
+	want := 1000/1e6 + 0.010 + 1000/5e5 + 0.020
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("arrival = %.6f, want %.6f", got, want)
+	}
+	if l1.Stats().Delivered != 1 || l2.Stats().Delivered != 1 {
+		t.Fatalf("per-link delivered = %d/%d, want 1/1",
+			l1.Stats().Delivered, l2.Stats().Delivered)
+	}
+}
+
+// TestMultiHopZeroHopsIdentical checks that a hop-free Path.Send is the
+// same call as Link.Send: identical RNG consumption and arrival times.
+func TestMultiHopZeroHopsIdentical(t *testing.T) {
+	run := func(viaPath bool) []float64 {
+		s := sim.New(7)
+		l := NewLink(s, 10, 1<<20, 0.015)
+		l.LossProb = 0.1
+		l.Jitter = LognormalNoise{Median: 0.001, Sigma: 0.5}
+		p := &Path{Link: l, AckDelay: 0.010}
+		var arrivals []float64
+		deliver := func(_ *Packet, at float64) { arrivals = append(arrivals, at) }
+		for i := 0; i < 50; i++ {
+			pkt := &Packet{FlowID: 1, Seq: int64(i), Size: MTU}
+			if viaPath {
+				p.Send(pkt, deliver)
+			} else {
+				l.Send(pkt, deliver)
+			}
+		}
+		s.Run(10)
+		return arrivals
+	}
+	a, b := run(true), run(false)
+	if len(a) != len(b) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMultiHopDownstreamDrop checks that a tail drop at the second hop
+// is counted there, is invisible to the sender's Send result, and that
+// each link's conservation law still holds.
+func TestMultiHopDownstreamDrop(t *testing.T) {
+	s := sim.New(1)
+	l1 := NewLink(s, 100, 1<<20, 0.001) // fast ingress
+	l2 := NewLink(s, 1, 2*MTU, 0.001)   // slow egress, 2-packet queue
+	p := &Path{Link: l1, Hops: []*Link{l2}}
+
+	delivered := 0
+	for i := 0; i < 20; i++ {
+		pkt := &Packet{FlowID: 1, Seq: int64(i), Size: MTU}
+		if !p.Send(pkt, func(*Packet, float64) { delivered++ }) {
+			t.Fatalf("first-hop queue rejected packet %d", i)
+		}
+	}
+	s.Run(60)
+
+	s1, s2 := l1.Stats(), l2.Stats()
+	if s1.Dropped != 0 || s2.Dropped == 0 {
+		t.Fatalf("drops: hop1=%d hop2=%d, want 0 and >0", s1.Dropped, s2.Dropped)
+	}
+	if int64(delivered) != s2.Delivered {
+		t.Fatalf("delivered %d, hop2 says %d", delivered, s2.Delivered)
+	}
+	// Conservation at hop 2: everything hop 1 delivered was offered.
+	if s2.Enqueued+s2.Dropped != s1.Delivered {
+		t.Fatalf("hop2 enqueued(%d)+dropped(%d) != hop1 delivered(%d)",
+			s2.Enqueued, s2.Dropped, s1.Delivered)
+	}
+}
+
+// TestMultiHopBaseRTTAndBDP checks hop-aware path arithmetic.
+func TestMultiHopBaseRTTAndBDP(t *testing.T) {
+	s := sim.New(1)
+	l1 := NewLink(s, 8, 1<<20, 0.010)
+	l2 := NewLink(s, 4, 1<<20, 0.020)
+	p := &Path{Link: l1, Hops: []*Link{l2}, AckDelay: 0.030}
+
+	wantRTT := 0.010 + 0.020 + 0.030 + MTU/1e6 + MTU/5e5
+	if got := p.BaseRTT(); math.Abs(got-wantRTT) > 1e-12 {
+		t.Fatalf("BaseRTT = %v, want %v", got, wantRTT)
+	}
+	if got := p.BottleneckRate(); got != 5e5 {
+		t.Fatalf("BottleneckRate = %v, want 5e5", got)
+	}
+	if got, want := p.BDP(), 5e5*wantRTT; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("BDP = %v, want %v", got, want)
+	}
+}

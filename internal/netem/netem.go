@@ -310,11 +310,17 @@ func (b *AckBatcher) Delay() float64 {
 	return 0
 }
 
-// Path bundles the forward bottleneck with the uncongested return path an
-// ACK takes. Base RTT = Link.PropDelay + AckDelay (+ one MTU
-// serialization).
+// Path bundles the forward direction — one or more bottleneck links in
+// series — with the uncongested return path an ACK takes. A single-link
+// path (Hops empty) behaves exactly as it always has: base RTT =
+// Link.PropDelay + AckDelay (+ one MTU serialization). With Hops set,
+// packets delivered by Link are immediately offered to each hop in
+// order, so queueing, serialization, loss, and faults apply per stage —
+// the building block for dumbbell, parking-lot, and shared-uplink
+// topologies (internal/campaign).
 type Path struct {
 	Link      *Link
+	Hops      []*Link // downstream bottlenecks traversed after Link, in order
 	AckDelay  float64 // reverse one-way delay, seconds
 	AckJitter Noise
 	Batcher   *AckBatcher
@@ -336,6 +342,45 @@ type PathStats struct {
 
 // Stats returns a copy of the reverse-path counters.
 func (p *Path) Stats() PathStats { return p.stats }
+
+// Send offers pkt to the forward direction of the path. On a single-link
+// path it is exactly Link.Send. With hops, the packet re-enters each
+// downstream link at its previous-stage arrival time; deliver fires only
+// after the last stage. The return value reports acceptance at the
+// *first* queue — a downstream tail drop is invisible to the sender, as
+// on a real multi-hop path, and is discovered via dup-ACKs or RTO.
+func (p *Path) Send(pkt *Packet, deliver func(p *Packet, arrival float64)) bool {
+	if len(p.Hops) == 0 {
+		return p.Link.Send(pkt, deliver)
+	}
+	return p.Link.Send(pkt, p.hopDeliver(0, deliver))
+}
+
+// hopDeliver builds the delivery chain that forwards a packet from hop
+// i-1 into hop i (hop index len(Hops) is the receiver).
+func (p *Path) hopDeliver(i int, deliver func(p *Packet, arrival float64)) func(*Packet, float64) {
+	if i == len(p.Hops) {
+		return deliver
+	}
+	return func(q *Packet, _ float64) {
+		// Now() == the arrival time at this stage; the hop's own queue,
+		// serialization, and prop delay take over from here. A downstream
+		// drop simply ends the chain.
+		p.Hops[i].Send(q, p.hopDeliver(i+1, deliver))
+	}
+}
+
+// BottleneckRate returns the lowest link rate on the forward direction,
+// in bytes/sec — the capacity the path can sustain end to end.
+func (p *Path) BottleneckRate() float64 {
+	r := p.Link.Rate
+	for _, h := range p.Hops {
+		if h.Rate < r {
+			r = h.Rate
+		}
+	}
+	return r
+}
 
 // Flush models a peer restart on the reverse path: acks already in
 // flight toward the sender are discarded at their would-be arrival.
@@ -379,13 +424,18 @@ func (p *Path) AckArrival(recvTime float64) float64 {
 }
 
 // BaseRTT returns the no-queue round-trip time of the path including one
-// full-MTU serialization.
+// full-MTU serialization per forward link.
 func (p *Path) BaseRTT() float64 {
-	return p.Link.PropDelay + p.AckDelay + float64(MTU)/p.Link.Rate
+	rtt := p.Link.PropDelay + p.AckDelay + float64(MTU)/p.Link.Rate
+	for _, h := range p.Hops {
+		rtt += h.PropDelay + float64(MTU)/h.Rate
+	}
+	return rtt
 }
 
-// BDP returns the bandwidth-delay product of the path in bytes.
-func (p *Path) BDP() float64 { return p.Link.Rate * p.BaseRTT() }
+// BDP returns the bandwidth-delay product of the path in bytes,
+// using the bottleneck (minimum) rate across the forward links.
+func (p *Path) BDP() float64 { return p.BottleneckRate() * p.BaseRTT() }
 
 // RateWalk drives a link's capacity as a bounded geometric random walk,
 // emulating cellular (LTE-like) channels where the scheduler's per-user

@@ -17,9 +17,15 @@ import (
 
 // Event is a scheduled callback. Events are ordered by time; ties break on
 // the order in which they were scheduled.
+//
+// Event objects are pooled: once executed (or popped dead) they return
+// to a free list and are reused by later At calls. gen counts reuses so
+// an outstanding Timer can tell "my event" from "a stranger now living
+// in the same allocation".
 type event struct {
 	at    float64
 	seq   uint64
+	gen   uint64
 	fn    func()
 	index int
 	dead  bool
@@ -27,13 +33,16 @@ type event struct {
 
 // Timer is a handle to a scheduled event that can be cancelled.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Stop cancels the timer. It is safe to call on an already-fired or
-// already-stopped timer; it reports whether the event was still pending.
+// already-stopped timer — including one whose event object has since
+// been recycled for an unrelated callback; it reports whether the event
+// was still pending.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+	if t == nil || t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
 		return false
 	}
 	t.ev.dead = true
@@ -75,11 +84,16 @@ type Sim struct {
 	now     float64
 	seq     uint64
 	events  eventHeap
+	free    []*event
 	rng     *rand.Rand
 	running bool
 	stopped bool
 	rec     *trace.Recorder
 }
+
+// freeCap bounds the event free list so a one-off scheduling burst does
+// not pin memory for the rest of the simulation.
+const freeCap = 1024
 
 // New returns a simulator with its clock at zero and randomness derived
 // from seed.
@@ -115,10 +129,18 @@ func (s *Sim) At(t float64, fn func()) *Timer {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: schedule at %.9f before now %.9f", t, s.now))
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.dead = t, s.seq, fn, false
+	} else {
+		ev = &event{at: t, seq: s.seq, fn: fn}
+	}
 	s.seq++
 	heap.Push(&s.events, ev)
-	return &Timer{ev: ev}
+	return &Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d seconds from now.
@@ -158,6 +180,7 @@ func (s *Sim) Run(until float64) {
 		ev := s.events[0]
 		if ev.dead {
 			heap.Pop(&s.events)
+			s.recycle(ev)
 			continue
 		}
 		if ev.at > until {
@@ -169,9 +192,23 @@ func (s *Sim) Run(until float64) {
 		fn := ev.fn
 		ev.fn = nil
 		ev.dead = true
+		// Recycle before running fn so a callback that immediately
+		// reschedules (pacing, timer restart) reuses this allocation.
+		s.recycle(ev)
 		fn()
 	}
 	if s.now < until {
 		s.now = until
+	}
+}
+
+// recycle returns a popped event to the free list. Bumping gen first
+// invalidates any Timer still holding this event, so a stale Stop
+// cannot cancel whatever the allocation is reused for next.
+func (s *Sim) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	if len(s.free) < freeCap {
+		s.free = append(s.free, ev)
 	}
 }

@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the mergeable sketch types the campaign runner
+// (internal/campaign) aggregates with: fixed-size accumulators that can
+// be computed per shard and combined without ever retaining raw
+// samples. Two properties are load-bearing:
+//
+//   - LogHist merge is *exactly* associative and commutative (integer
+//     bin counts), so histogram aggregates are independent of how work
+//     was sharded.
+//   - Moments merge is mathematically associative but, like all float
+//     arithmetic, not bit-exact under regrouping; callers that promise
+//     bit-identical output across worker counts must fold shard results
+//     in a fixed order (campaign.OrderedReduce does).
+//
+// All fields are exported so aggregates serialize to JSON directly.
+
+// Moments is a mergeable streaming accumulator for count, mean,
+// variance, and range. Add uses Welford's update; Merge uses the
+// Chan-Golub-LeVeque pairwise formula.
+type Moments struct {
+	Count int64   `json:"n"`
+	Mean  float64 `json:"mean"`
+	M2    float64 `json:"m2"` // sum of squared deviations from the mean
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// Add incorporates one sample. NaN samples are ignored, as everywhere
+// in this package.
+func (m *Moments) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if m.Count == 0 {
+		m.Min, m.Max = x, x
+	} else {
+		if x < m.Min {
+			m.Min = x
+		}
+		if x > m.Max {
+			m.Max = x
+		}
+	}
+	m.Count++
+	d := x - m.Mean
+	m.Mean += d / float64(m.Count)
+	m.M2 += d * (x - m.Mean)
+}
+
+// Merge folds another accumulator into m. Merging an empty accumulator
+// is a no-op, so zero values compose freely.
+func (m *Moments) Merge(o Moments) {
+	if o.Count == 0 {
+		return
+	}
+	if m.Count == 0 {
+		*m = o
+		return
+	}
+	n := m.Count + o.Count
+	delta := o.Mean - m.Mean
+	m.M2 += o.M2 + delta*delta*float64(m.Count)*float64(o.Count)/float64(n)
+	m.Mean += delta * float64(o.Count) / float64(n)
+	if o.Min < m.Min {
+		m.Min = o.Min
+	}
+	if o.Max > m.Max {
+		m.Max = o.Max
+	}
+	m.Count = n
+}
+
+// Var returns the population variance (0 with fewer than two samples).
+func (m Moments) Var() float64 {
+	if m.Count < 2 {
+		return 0
+	}
+	return m.M2 / float64(m.Count)
+}
+
+// StdDev returns the population standard deviation.
+func (m Moments) StdDev() float64 { return math.Sqrt(m.Var()) }
+
+// LogHist is a fixed-bin histogram with geometrically spaced bin edges
+// over [Lo, Hi): bin i covers [Lo·r^i, Lo·r^(i+1)) with r =
+// (Hi/Lo)^(1/bins). Samples below Lo (including zero and negatives)
+// land in the Under counter, samples at or above Hi in Over, so no
+// sample is ever silently discarded and N is exact. Counts are
+// integers, which makes Merge exactly associative and commutative —
+// the property the campaign determinism guarantee rests on.
+type LogHist struct {
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Counts []int64 `json:"counts"`
+	Under  int64   `json:"under"`
+	Over   int64   `json:"over"`
+}
+
+// NewLogHist creates a log-scale histogram. Lo and Hi must be positive
+// with Lo < Hi; bins must be at least 1. Invalid configurations panic:
+// sketch shapes are static campaign configuration, and a typo should
+// fail loudly.
+func NewLogHist(lo, hi float64, bins int) *LogHist {
+	if !(lo > 0) || !(hi > lo) || bins < 1 {
+		panic(fmt.Sprintf("stats: bad LogHist config lo=%v hi=%v bins=%d", lo, hi, bins))
+	}
+	return &LogHist{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
+}
+
+// Add records one sample. NaN samples are ignored.
+func (h *LogHist) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	if x >= h.Hi {
+		h.Over++
+		return
+	}
+	b := int(math.Log(x/h.Lo) / math.Log(h.Hi/h.Lo) * float64(len(h.Counts)))
+	if b >= len(h.Counts) { // float rounding at the top edge
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+}
+
+// N returns the total number of recorded samples, including the
+// underflow and overflow counters.
+func (h *LogHist) N() int64 {
+	n := h.Under + h.Over
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Merge adds another histogram's counts into h. The configurations
+// must match exactly.
+func (h *LogHist) Merge(o *LogHist) error {
+	if o == nil {
+		return nil
+	}
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Counts) != len(o.Counts) {
+		return fmt.Errorf("stats: LogHist config mismatch: [%v,%v)x%d vs [%v,%v)x%d",
+			h.Lo, h.Hi, len(h.Counts), o.Lo, o.Hi, len(o.Counts))
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	return nil
+}
+
+// edge returns the lower edge of bin i (bin len(Counts) = Hi).
+func (h *LogHist) edge(i int) float64 {
+	return h.Lo * math.Pow(h.Hi/h.Lo, float64(i)/float64(len(h.Counts)))
+}
+
+// Quantile estimates the p-th quantile (0 <= p <= 1) by walking the
+// cumulative counts and interpolating geometrically inside the
+// containing bin. Underflow mass is attributed to Lo and overflow mass
+// to Hi — quantiles are clamped to the histogram's range, which is the
+// honest answer a bounded sketch can give. Returns 0 for an empty
+// histogram.
+func (h *LogHist) Quantile(p float64) float64 {
+	n := h.N()
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(n)
+	cum := float64(h.Under)
+	if target <= cum {
+		return h.Lo
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if target <= next {
+			frac := (target - cum) / float64(c)
+			lo, hi := h.edge(i), h.edge(i+1)
+			return lo * math.Pow(hi/lo, frac)
+		}
+		cum = next
+	}
+	return h.Hi
+}

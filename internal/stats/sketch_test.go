@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestMomentsMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var m Moments
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		xs = append(xs, x)
+		m.Add(x)
+	}
+	if m.Count != 1000 {
+		t.Fatalf("Count = %d", m.Count)
+	}
+	if got, want := m.Mean, Mean(xs); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	if got, want := m.StdDev(), StdDev(xs); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestMomentsMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var whole, a, b Moments
+	for i := 0; i < 500; i++ {
+		x := rng.ExpFloat64()
+		whole.Add(x)
+		if i < 200 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.Count != whole.Count {
+		t.Fatalf("merged Count = %d, want %d", a.Count, whole.Count)
+	}
+	if math.Abs(a.Mean-whole.Mean) > 1e-12 || math.Abs(a.StdDev()-whole.StdDev()) > 1e-9 {
+		t.Fatalf("merged mean/std %v/%v, want %v/%v", a.Mean, a.StdDev(), whole.Mean, whole.StdDev())
+	}
+	if a.Min != whole.Min || a.Max != whole.Max {
+		t.Fatalf("merged min/max %v/%v, want %v/%v", a.Min, a.Max, whole.Min, whole.Max)
+	}
+	// Merging an empty accumulator in either direction is a no-op /
+	// copy.
+	var empty Moments
+	before := a
+	a.Merge(empty)
+	if a != before {
+		t.Fatal("merging empty changed the accumulator")
+	}
+	empty.Merge(a)
+	if empty != a {
+		t.Fatal("merging into empty is not a copy")
+	}
+}
+
+func TestMomentsNaNIgnored(t *testing.T) {
+	var m Moments
+	m.Add(math.NaN())
+	m.Add(1)
+	m.Add(math.NaN())
+	if m.Count != 1 || m.Mean != 1 {
+		t.Fatalf("NaN leaked into moments: %+v", m)
+	}
+}
+
+func randomLogHist(rng *rand.Rand) *LogHist {
+	h := NewLogHist(0.001, 1000, 32)
+	n := rng.Intn(200)
+	for i := 0; i < n; i++ {
+		// Spread over the range plus out-of-range mass on both sides.
+		h.Add(math.Exp(rng.Float64()*20 - 10))
+	}
+	return h
+}
+
+// TestLogHistMergeProperties checks, under randomized inputs, that
+// merge is commutative and associative — exactly, not approximately —
+// and that N is conserved.
+func TestLogHistMergeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randomLogHist(rng), randomLogHist(rng), randomLogHist(rng)
+		sum := a.N() + b.N() + c.N()
+
+		clone := func(h *LogHist) *LogHist {
+			cp := *h
+			cp.Counts = append([]int64(nil), h.Counts...)
+			return &cp
+		}
+
+		// (a ∪ b) ∪ c
+		ab := clone(a)
+		if err := ab.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		abc1 := clone(ab)
+		if err := abc1.Merge(c); err != nil {
+			t.Fatal(err)
+		}
+		// a ∪ (b ∪ c)
+		bc := clone(b)
+		if err := bc.Merge(c); err != nil {
+			t.Fatal(err)
+		}
+		abc2 := clone(a)
+		if err := abc2.Merge(bc); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(abc1, abc2) {
+			t.Fatalf("trial %d: merge not associative:\n%+v\n%+v", trial, abc1, abc2)
+		}
+		// b ∪ a  ==  a ∪ b
+		ba := clone(b)
+		if err := ba.Merge(a); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: merge not commutative:\n%+v\n%+v", trial, ab, ba)
+		}
+		if abc1.N() != sum {
+			t.Fatalf("trial %d: N not conserved: %d vs %d", trial, abc1.N(), sum)
+		}
+	}
+}
+
+func TestLogHistMergeConfigMismatch(t *testing.T) {
+	a := NewLogHist(0.001, 1000, 32)
+	b := NewLogHist(0.001, 1000, 16)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("expected config-mismatch error")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil merge should be a no-op, got %v", err)
+	}
+}
+
+func TestLogHistBinsAndQuantile(t *testing.T) {
+	h := NewLogHist(1, 1024, 10) // bin edges at powers of 2
+	h.Add(0)                     // under
+	h.Add(0.5)                   // under
+	h.Add(2000)                  // over
+	h.Add(math.NaN())            // ignored
+	for i := 0; i < 10; i++ {
+		h.Add(1.5 * math.Pow(2, float64(i))) // one sample mid-bin i
+	}
+	if h.Under != 2 || h.Over != 1 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.N() != 13 {
+		t.Fatalf("N = %d, want 13", h.N())
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bin %d count = %d, want 1", i, c)
+		}
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("Quantile(0) = %v, want Lo", q)
+	}
+	if q := h.Quantile(1); q != 1024 {
+		t.Fatalf("Quantile(1) = %v, want Hi", q)
+	}
+	// Median of 13 samples: 2 under + 5 binned ≈ falls in bin 4-ish;
+	// the estimate must at least be inside the range and monotone.
+	q25, q50, q75 := h.Quantile(0.25), h.Quantile(0.5), h.Quantile(0.75)
+	if !(q25 <= q50 && q50 <= q75) {
+		t.Fatalf("quantiles not monotone: %v %v %v", q25, q50, q75)
+	}
+	if q50 < 1 || q50 > 1024 {
+		t.Fatalf("median %v outside range", q50)
+	}
+}
+
+func TestLogHistEmptyQuantile(t *testing.T) {
+	h := NewLogHist(1, 10, 4)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}

@@ -508,7 +508,7 @@ func (s *Sender) emit() {
 		sent += size
 
 		wire := &netem.Packet{FlowID: s.ID, Seq: pkt.Seq, Size: size, SentAt: now, MI: pkt.MI}
-		if !s.Path.Link.Send(wire, s.deliver) {
+		if !s.Path.Send(wire, s.deliver) {
 			// Tail drop at the queue: the packet is gone; the sender
 			// will discover this through dup-ACKs or RTO like any other
 			// loss.
@@ -812,7 +812,7 @@ func (s *Sender) sendProbe() {
 	s.unacked = append(s.unacked, pkt)
 	s.inflight += pkt.Size
 	wire := &netem.Packet{FlowID: s.ID, Seq: pkt.Seq, Size: pkt.Size, SentAt: now}
-	s.Path.Link.Send(wire, s.deliver)
+	s.Path.Send(wire, s.deliver)
 	if s.rtoTimer == nil {
 		s.armRTO()
 	}

@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"pccproteus/internal/trace"
+	"pccproteus/internal/transport"
+)
+
+// This file exports the datapath micro-benchmarks so the proteusbench
+// -perf mode can run them via testing.Benchmark from a regular binary.
+// They mirror the _test.go benchmarks but cannot share their helpers
+// (test files are invisible outside `go test`).
+
+// benchCC is a fixed-rate controller with callbacks that do no work.
+type benchCC struct{ rate, cwnd float64 }
+
+func (c *benchCC) Name() string                              { return "bench" }
+func (c *benchCC) OnSend(now float64, p *transport.SentPacket) {}
+func (c *benchCC) OnAck(transport.Ack)                       {}
+func (c *benchCC) OnLoss(transport.Loss)                     {}
+func (c *benchCC) PacingRate() float64                       { return c.rate }
+func (c *benchCC) CWnd() float64                             { return c.cwnd }
+
+// benchConn swallows writes; the benchmarks never start the datapath
+// goroutines, so reads are unreachable.
+type benchConn struct{}
+
+func (benchConn) Write(b []byte) (int, error)     { return len(b), nil }
+func (benchConn) Read(b []byte) (int, error)      { return 0, io.EOF }
+func (benchConn) SetReadDeadline(time.Time) error { return nil }
+func (benchConn) Close() error                    { return nil }
+
+func newBenchSender(cc transport.Controller) *Sender {
+	s := &Sender{CC: cc, Conn: benchConn{}, PacketSize: 1200}
+	s.clock = NewClock()
+	s.tr = (*trace.Recorder)(nil).Tracer(1)
+	s.sendBuf = make([]byte, s.PacketSize)
+	s.pacer.cap = float64(8 * s.PacketSize)
+	s.pacer.reset(0)
+	return s
+}
+
+// RunPacerBench is the steady-state per-packet send path: token-bucket
+// advance, OnSend, freelist record, header encode, stubbed socket
+// write, and prune after the ack.
+func RunPacerBench(b *testing.B) {
+	cc := &benchCC{rate: 125e6, cwnd: 1e12}
+	s := newBenchSender(cc)
+	now := 0.0
+	b.ReportAllocs()
+	b.SetBytes(1200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 1e-4
+		s.pacer.advance(now, cc.rate)
+		s.pacer.take(1200)
+		s.emit(now, now, 1200)
+		rec := s.unacked[len(s.unacked)-1]
+		rec.acked = true
+		s.inflight -= rec.size
+		s.prune()
+	}
+}
+
+// RunAckBench is the per-ack receive path: ack decode, unacked walk,
+// RTT update, OnAck dispatch, RACK scan, prune.
+func RunAckBench(b *testing.B) {
+	cc := &benchCC{rate: 125e6, cwnd: 1e12}
+	s := newBenchSender(cc)
+	var buf [MaxAckLen]byte
+	a := AckPacket{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := float64(i) * 1e-4
+		s.emit(now, now, 1200)
+		a.Seq = int64(i)
+		a.CumAck = int64(i + 1)
+		a.RecvAt = s.clock.NanosAt(now)
+		pkt := a.Encode(buf[:])
+		if err := DecodeAck(pkt, &s.ack); err != nil {
+			b.Fatal("decode failed")
+		}
+		s.processAck(&s.ack)
+	}
+}
