@@ -13,7 +13,8 @@
 //	proteusbench -perf                  # hot-path micro-benchmarks → BENCH_proteus.json
 //
 // Figure ids: 2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,
-// plus "ablation", "equilibrium", and the §7.2 extension "lte".
+// plus "ablation", "equilibrium", the §7.2 extension "lte", and the
+// Appendix-F bulk-fetch scavenger-yield table "fetch".
 //
 // Independent figures run on a -jobs worker pool (default: NumCPU capped
 // at the figure count); output is printed in figure order regardless of
@@ -46,7 +47,7 @@ import (
 var csvDir string
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (2..22, ablation, equilibrium, lte, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (2..22, ablation, equilibrium, lte, fetch, all)")
 	fast := flag.Bool("fast", false, "reduced grids and durations")
 	trials := flag.Int("trials", 0, "trials per data point (0 = default)")
 	jobs := flag.Int("jobs", 0, "figures to run in parallel (0 = NumCPU, capped at figure count)")
@@ -151,7 +152,7 @@ func main() {
 	ids := strings.Split(*fig, ",")
 	if *fig == "all" {
 		ids = []string{"2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13",
-			"14", "15", "16", "17", "18", "19", "21", "22", "ablation", "equilibrium"}
+			"14", "15", "16", "17", "18", "19", "21", "22", "ablation", "equilibrium", "fetch"}
 	}
 	for i, id := range ids {
 		ids[i] = strings.TrimSpace(id)
@@ -294,6 +295,8 @@ func run(w io.Writer, id string, o exp.Options) error {
 			exp.Fig10(o, nil, []string{exp.ProtoProteusS, exp.ProtoLEDBAT25, exp.ProtoLEDBAT})))
 	case "ablation":
 		emit(w, "ablation", exp.AblationTable(exp.Ablation(o)))
+	case "fetch":
+		emit(w, "fetch_yield", exp.FetchYieldTable(exp.FetchYield(o)))
 	case "lte":
 		emit(w, "lte", exp.LTESolo(o, append(append([]string{}, exp.AllSingle...), exp.ProtoAllegro)))
 	case "equilibrium":

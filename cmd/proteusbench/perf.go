@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"testing"
 
+	"pccproteus/internal/fetch"
 	"pccproteus/internal/sim"
 	"pccproteus/internal/wire"
 )
@@ -107,6 +108,7 @@ func runPerf(w io.Writer, outPath string) error {
 		{"wire_ack_codec", benchAckCodec},
 		{"wire_pacer_send", wire.RunPacerBench},
 		{"wire_ack_process", wire.RunAckBench},
+		{"fetch_goodput", fetch.RunFetchBench},
 	}
 	rep := perfReport{
 		Schema:     "proteusbench-perf/v1",

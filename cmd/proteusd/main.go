@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"pccproteus/internal/exp"
+	"pccproteus/internal/fetch"
 	"pccproteus/internal/transport"
 	"pccproteus/internal/wire"
 )
@@ -61,7 +62,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: proteusd <recv|send|demo> [flags]
 
-  recv  -listen ADDR                      ack-generating receiver
+  recv  -listen ADDR [-serve DIR]         ack-generating receiver / fetch server
   send  -to ADDR -proto NAME [-shim ...]  congestion-controlled sender
   demo  [-proto NAME ...]                 single-process loopback run
 
@@ -115,6 +116,7 @@ func runRecv(args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress per-second stats")
 	idle := fs.Float64("idle", 60, "evict a flow after this many seconds without packets (0 = default)")
 	maxFlows := fs.Int("max-flows", 0, "flow-state cap; stalest flow is evicted at the cap (0 = default)")
+	serve := fs.String("serve", "", "also answer segmented fetch requests for every file in this directory (proteusfetch is the client)")
 	fs.Parse(args)
 
 	addr, err := net.ResolveUDPAddr("udp", *listen)
@@ -128,6 +130,15 @@ func runRecv(args []string) error {
 	conn.SetReadBuffer(1 << 21)
 	conn.SetWriteBuffer(1 << 21)
 	recv := &wire.Receiver{Conn: conn, IdleTimeout: *idle, MaxFlows: *maxFlows}
+	if *serve != "" {
+		store := fetch.NewStore(0)
+		names, err := store.ServeDir(*serve)
+		if err != nil {
+			return err
+		}
+		recv.OnFetch = store.HandleFetch
+		fmt.Printf("proteusd recv: serving %d objects from %s: %v\n", len(names), *serve, names)
+	}
 	if err := recv.Start(); err != nil {
 		return err
 	}
@@ -143,14 +154,16 @@ func runRecv(args []string) error {
 		select {
 		case <-sig:
 			st := recv.Stats()
-			fmt.Printf("total: pkts=%d bytes=%d dups=%d acks=%d cum=%d flows=%d evicted=%d bad=%d\n",
-				st.Pkts, st.Bytes, st.Dups, st.AcksSent, st.CumAck, st.Flows, st.Evicted, st.BadPkts)
+			fmt.Printf("total: pkts=%d bytes=%d dups=%d acks=%d cum=%d flows=%d evicted=%d bad=%d fetch=%d segs=%d\n",
+				st.Pkts, st.Bytes, st.Dups, st.AcksSent, st.CumAck, st.Flows, st.Evicted, st.BadPkts,
+				st.FetchReqs, st.SegsSent)
 			return nil
 		case <-tick.C:
 			st := recv.Stats()
-			if !*quiet && st.Pkts != last.Pkts {
-				fmt.Printf("rx %7.3f Mbps  pkts=%d dups=%d cum=%d sacks=%d\n",
-					float64(st.Bytes-last.Bytes)*8/1e6, st.Pkts, st.Dups, st.CumAck, st.AcksSent)
+			if !*quiet && (st.Pkts != last.Pkts || st.FetchReqs != last.FetchReqs) {
+				fmt.Printf("rx %7.3f Mbps  pkts=%d dups=%d cum=%d sacks=%d fetch=%d segs=%d\n",
+					float64(st.Bytes-last.Bytes)*8/1e6, st.Pkts, st.Dups, st.CumAck, st.AcksSent,
+					st.FetchReqs, st.SegsSent)
 			}
 			last = st
 		}

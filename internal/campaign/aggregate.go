@@ -164,18 +164,19 @@ func (a *Aggregate) Render() string {
 	fmt.Fprintf(&b, "%-34s %8s %8s %8s %8.4f %8d\n", "bottleneck utilization",
 		"-", "-", "-", a.Utilization.Mean, a.Utilization.Count)
 	b.WriteByte('\n')
-	fmt.Fprintf(&b, "%-12s %5s %8s %8s %10s %10s %10s %9s %9s %9s\n",
-		"class", "kind", "flows", "done", "bytes(MB)", "gput-p50", "gput-p90", "fct-p50", "rtt-p50", "loss-mean")
+	fmt.Fprintf(&b, "%-12s %5s %8s %8s %10s %10s %10s %9s %9s %9s %9s %9s\n",
+		"class", "kind", "flows", "done", "bytes(MB)", "gput-p50", "gput-p90", "fct-p50", "rtt-p50", "rtt-p95", "rtt-p99", "loss-mean")
 	for _, name := range a.ClassNames() {
 		c := a.Classes[name]
 		kind := "pri"
 		if IsScavenger(name) {
 			kind = "scav"
 		}
-		fmt.Fprintf(&b, "%-12s %5s %8d %8d %10.1f %10.3f %10.3f %9.3f %9.4f %9.5f\n",
+		fmt.Fprintf(&b, "%-12s %5s %8d %8d %10.1f %10.3f %10.3f %9.3f %9.4f %9.4f %9.4f %9.5f\n",
 			name, kind, c.Flows, c.Completed, float64(c.Bytes)/1e6,
 			c.Goodput.Quantile(0.50), c.Goodput.Quantile(0.90),
-			c.FCT.Quantile(0.50), c.RTT.Quantile(0.50), c.Loss.Mean)
+			c.FCT.Quantile(0.50), c.RTT.Quantile(0.50),
+			c.RTT.Quantile(0.95), c.RTT.Quantile(0.99), c.Loss.Mean)
 	}
 	return b.String()
 }

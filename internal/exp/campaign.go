@@ -23,14 +23,15 @@ func CampaignTable(a *campaign.Aggregate) *Table {
 	t := &Table{
 		Title:   "Campaign " + a.Name + ": per-class outcomes",
 		XLabel:  "class",
-		Columns: []string{"flows", "done", "MB", "gput-p50", "gput-p90", "fct-p50", "rtt-p50(ms)", "loss-mean"},
+		Columns: []string{"flows", "done", "MB", "gput-p50", "gput-p90", "fct-p50", "rtt-p50(ms)", "rtt-p95(ms)", "rtt-p99(ms)", "loss-mean"},
 	}
 	for _, name := range a.ClassNames() {
 		c := a.Classes[name]
 		t.Rows = append(t.Rows, TableRow{XName: name, Cells: []float64{
 			float64(c.Flows), float64(c.Completed), float64(c.Bytes) / 1e6,
 			c.Goodput.Quantile(0.50), c.Goodput.Quantile(0.90),
-			c.FCT.Quantile(0.50), c.RTT.Quantile(0.50) * 1000, c.Loss.Mean,
+			c.FCT.Quantile(0.50), c.RTT.Quantile(0.50) * 1000,
+			c.RTT.Quantile(0.95) * 1000, c.RTT.Quantile(0.99) * 1000, c.Loss.Mean,
 		}})
 	}
 	return t

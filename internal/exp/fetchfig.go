@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"pccproteus/internal/dash"
+	"pccproteus/internal/fetch"
+	"pccproteus/internal/sim"
+	"pccproteus/internal/stats"
+	"pccproteus/internal/transport"
+	"pccproteus/internal/web"
+)
+
+// FetchBackgrounds lists the bulk-fetch variants of the scavenger-yield
+// experiment: no background fetch (the foreground baseline), a fetch
+// under Proteus-S (should scavenge), and one under Proteus-P (should
+// claim a primary's share).
+var FetchBackgrounds = []string{"none", ProtoProteusS, ProtoProteusP}
+
+// FetchYieldResult is one background variant's aggregate outcome.
+type FetchYieldResult struct {
+	Background string
+	DashMbps   float64 // mean DASH chunk bitrate across players and trials
+	WebP50     float64 // web page-load-time quantiles, seconds
+	WebP95     float64
+	WebP99     float64
+	FetchMbps  float64 // bulk-fetch goodput (0 for the baseline)
+}
+
+// pltHist parameterizes the page-load-time sketch: 10 ms to 100 s at
+// ~7% relative resolution.
+func pltHist() *stats.LogHist { return stats.NewLogHist(0.01, 100, 160) }
+
+// FetchYield runs the scavenger-yield benchmark for the segmented
+// bulk-fetch protocol (EXPERIMENTS Appendix F): a residential downlink
+// carries three DASH players (CUBIC transport) and Poisson web page
+// loads; an effectively infinite fetch.SimTransfer runs underneath in
+// each background variant. A well-behaved scavenger fetch leaves the
+// foreground within a few percent of the fetch-free baseline while
+// soaking up the leftover capacity; the same fetch under Proteus-P
+// claims a primary's share and degrades the foreground.
+func FetchYield(o Options) []FetchYieldResult {
+	o = o.withDefaults()
+	dur := o.Duration
+	var out []FetchYieldResult
+	for _, bg := range FetchBackgrounds {
+		var dashSum, fetchSum float64
+		hist := pltHist()
+		for tr := 0; tr < o.Trials; tr++ {
+			dashMbps, plts, fetchBytes := fetchYieldTrial(o.seedFor(int64(tr+1)), bg, dur)
+			dashSum += dashMbps
+			fetchSum += float64(fetchBytes) * 8 / dur / 1e6
+			for _, p := range plts {
+				hist.Add(p)
+			}
+		}
+		n := float64(o.Trials)
+		out = append(out, FetchYieldResult{
+			Background: bg,
+			DashMbps:   dashSum / n,
+			WebP50:     hist.Quantile(0.50),
+			WebP95:     hist.Quantile(0.95),
+			WebP99:     hist.Quantile(0.99),
+			FetchMbps:  fetchSum / n,
+		})
+	}
+	return out
+}
+
+// fetchYieldLink is the experiment's downlink: tight enough that three
+// top-rung DASH players nearly fill it, so a background flow claiming a
+// fair share visibly squeezes the foreground.
+func fetchYieldLink() LinkSpec {
+	return LinkSpec{Mbps: 60, RTT: 0.020, BufBytes: 375000}
+}
+
+func fetchYieldTrial(seed int64, background string, dur float64) (dashMbps float64, plts []float64, fetchBytes int64) {
+	const nVideos = 3
+	s := sim.New(seed)
+	path := fetchYieldLink().Build(s)
+	video := dash.Video{Name: "vod", Ladder: fig11Ladder, ChunkDur: 3, Chunks: 1 << 20}
+	players := make([]*dash.Player, nVideos)
+	for i := 0; i < nVideos; i++ {
+		snd := transport.NewSender(i+1, path, NewController(s, ProtoCubic))
+		p := dash.NewPlayer(s, snd, video, dash.NewBOLA(24), 24)
+		players[i] = p
+		p.Start()
+	}
+	connBase := 1000
+	var spawn func()
+	spawn = func() {
+		page := web.RandomPage(s.Rand())
+		pl := web.NewPageLoad(s, path, page, connBase, func(plt float64) {
+			plts = append(plts, plt)
+		})
+		connBase += 100
+		pl.Start()
+		s.After(s.Rand().ExpFloat64()*10, spawn)
+	}
+	s.After(s.Rand().ExpFloat64()*10, spawn)
+
+	var tr *fetch.SimTransfer
+	if background != "none" {
+		// An object far larger than the link can move in dur: the fetch
+		// never completes, so its goodput is pure steady-state yield.
+		tr = &fetch.SimTransfer{
+			S: s, Path: path, CC: NewController(s, background), ID: 100,
+			ObjectBytes: 1 << 40,
+		}
+		if err := tr.Start(); err != nil {
+			panic(err) // static configuration; a typo should fail loudly
+		}
+	}
+	s.Run(dur)
+	sum := 0.0
+	for _, p := range players {
+		sum += p.Metrics().AvgBitrate()
+	}
+	dashMbps = sum / nVideos
+	if tr != nil {
+		fetchBytes = tr.DeliveredBytes()
+	}
+	return dashMbps, plts, fetchBytes
+}
+
+// FetchYieldTable renders the scavenger-yield results.
+func FetchYieldTable(results []FetchYieldResult) *Table {
+	t := &Table{
+		Title:   "App F: bulk-fetch scavenger yield (DASH+web foreground)",
+		XLabel:  "background",
+		Columns: []string{"dash-Mbps", "web-p50(s)", "web-p95(s)", "web-p99(s)", "fetch-Mbps"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, TableRow{XName: "fetch=" + r.Background, Cells: []float64{
+			r.DashMbps, r.WebP50, r.WebP95, r.WebP99, r.FetchMbps,
+		}})
+	}
+	return t
+}

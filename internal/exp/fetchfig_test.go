@@ -1,0 +1,47 @@
+package exp
+
+import "testing"
+
+// The Appendix F acceptance property: a Proteus-S bulk fetch yields —
+// the DASH/web foreground stays within 10% of its fetch-free baseline —
+// while the identical fetch under Proteus-P claims a primary's share of
+// the leftover capacity (several times the scavenger's take).
+func TestFetchYieldScavengerProperty(t *testing.T) {
+	res := FetchYield(Options{Fast: true})
+	byBg := map[string]FetchYieldResult{}
+	for _, r := range res {
+		byBg[r.Background] = r
+	}
+	base, ok1 := byBg["none"]
+	scav, ok2 := byBg[ProtoProteusS]
+	prim, ok3 := byBg[ProtoProteusP]
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("missing variants: %+v", res)
+	}
+
+	// Scavenger yield: foreground within 10% of the fetch-free baseline.
+	if scav.DashMbps < 0.9*base.DashMbps {
+		t.Errorf("proteus-s fetch degraded DASH: %.2f vs baseline %.2f Mbps",
+			scav.DashMbps, base.DashMbps)
+	}
+	if scav.WebP95 > 1.3*base.WebP95 {
+		t.Errorf("proteus-s fetch degraded web p95 PLT: %.2fs vs baseline %.2fs",
+			scav.WebP95, base.WebP95)
+	}
+	if scav.FetchMbps <= 0 {
+		t.Errorf("proteus-s fetch made no progress")
+	}
+
+	// Primary claim: the same fetch under Proteus-P takes several times
+	// the scavenger's share.
+	if prim.FetchMbps < 3*scav.FetchMbps {
+		t.Errorf("proteus-p fetch claimed %.2f Mbps, not a primary share vs scavenger %.2f",
+			prim.FetchMbps, scav.FetchMbps)
+	}
+	if prim.FetchMbps < 2 {
+		t.Errorf("proteus-p fetch goodput %.2f Mbps below any plausible claimed share", prim.FetchMbps)
+	}
+	if base.FetchMbps != 0 {
+		t.Errorf("baseline reports fetch goodput %.2f", base.FetchMbps)
+	}
+}

@@ -1,0 +1,718 @@
+package fetch
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"hash"
+	"math"
+
+	"pccproteus/internal/transport"
+	"pccproteus/internal/wire"
+)
+
+// Tuning constants, mirroring the wire sender's datapath so a fetch
+// behaves like an upload running in the opposite direction.
+const (
+	// DefaultWindow is the reassembly window in segments: how far past
+	// the in-order delivery point the fetcher will request. ~5.7 MB at
+	// the default segment size — comfortably above the BDP of every
+	// emulated path in this repo, so the congestion window, not the
+	// reassembly bound, is what gates steady state.
+	DefaultWindow = 4096
+	// maxPendRecs bounds request bookkeeping when responses never come;
+	// at the cap the oldest record is force-retired.
+	maxPendRecs = 1 << 16
+
+	dupRespThreshold = 3 // RACK reference gap, as dupAckThreshold
+	maxRTOBackoff    = 4
+	maxRTOCap        = 3.0
+	watchdogFloor    = 0.5
+	probeEvery       = 0.25
+)
+
+// Config parameterizes a transfer's scheduler core.
+type Config struct {
+	ObjID uint64
+	CC    transport.Controller
+	// SegSize is the segment payload size the server was configured
+	// with; both ends must agree (default DefaultSegSize).
+	SegSize int
+	// Window bounds the reassembly window in segments (default
+	// DefaultWindow).
+	Window int
+	// Hash verifies delivered bytes against the whole-object SHA-256
+	// from the metadata exchange. The wire driver sets it; the sim
+	// driver moves no real bytes and leaves it off.
+	Hash bool
+	// OnData, when set, observes each segment at in-order delivery.
+	// The payload slice is only valid during the call.
+	OnData func(seg int64, payload []byte)
+	// OnRTT, when set, observes every per-request RTT sample (seconds).
+	OnRTT func(rtt float64)
+}
+
+// Request is one FETCH the core has decided to send. Size is the
+// *expected response* wire size — the currency of pacing and window
+// accounting, since the response stream is what crosses the bottleneck.
+type Request struct {
+	Nonce int64
+	Seg   int64
+	Meta  bool
+	Probe bool
+	Size  int
+}
+
+// Response is one SEGMENT response handed back to the core. Payload is
+// nil in the simulator (no real bytes move); Meta responses carry the
+// whole-object digest as their payload.
+type Response struct {
+	Nonce     int64
+	Seg       int64
+	Meta      bool
+	TotalSegs int64
+	ObjSize   int64
+	Payload   []byte
+}
+
+// reqRec is the fetcher-side record of one outstanding request. sentAt
+// is the request's scheduled (token-bucket) send time — the measurement
+// timebase; wallAt is the actual emission time, used for loss-detection
+// and RTO aging.
+type reqRec struct {
+	nonce  int64
+	seg    int64
+	size   int // expected response wire size
+	sentAt float64
+	wallAt float64
+	mi     int64
+	meta   bool
+	probe  bool
+	acked  bool
+	lost   bool
+}
+
+// CoreStats is a snapshot of the scheduler's counters.
+type CoreStats struct {
+	ReqsSent  int64 // requests issued (excluding probes)
+	SegsRx    int64 // distinct data segments received
+	Dups      int64 // duplicate/stale responses discarded
+	LostReqs  int64 // requests declared lost
+	Probes    int64 // keep-alive probes issued during outages
+	Refetched int64 // requests issued for already-delivered segments
+	Delivered int64 // bytes delivered in order
+	Inflight  int   // expected response bytes outstanding
+	Pend      int   // live request records
+	SRTT      float64
+	WdTrips   int64
+	WdRecov   int64
+	InOutage  bool
+	Done      bool
+	Verified  bool
+}
+
+// Core is the transport-agnostic half of a fetcher: request selection
+// under the controller's window, per-request retransmit state, RACK +
+// RTO loss detection with outage survival, and in-order reassembly with
+// integrity verification. It is single-threaded by contract — the wire
+// driver serializes calls under its mutex, the sim driver runs on the
+// simulator's event loop.
+type Core struct {
+	cfg Config
+	rtt transport.RTTEstimator
+
+	nonce int64
+	pend  map[int64]*reqRec
+	order []*reqRec // send order (nonce order); pruned from the front
+	free  []*reqRec
+	sp    transport.SentPacket // reused OnSend scratch
+
+	retx    []int64 // segment indices awaiting re-request, ascending
+	retxSet map[int64]bool
+
+	geomKnown bool
+	totalSegs int64
+	objSize   int64
+	metaDone  bool
+	metaOut   int // outstanding (not acked/lost) metadata requests
+	digest    [wire.DigestLen]byte
+
+	done      []bool
+	buffer    map[int64][]byte
+	cum       int64 // segments [0,cum) delivered in order
+	next      int64 // next never-requested segment
+	hash      hash.Hash
+	delivered int64
+	inflight  int
+	maxRx     int64 // highest responded nonce (RACK reference)
+
+	finished bool
+	verified bool
+
+	// Liveness and survival, as in the wire sender: RTO backoff during
+	// response silence, a stall watchdog that freezes the controller
+	// across an outage, keep-alive probes that detect healing.
+	lastRespAt   float64
+	rtoBackoff   int
+	lastGoodRate float64
+	outage       bool
+	outageAt     float64
+	resumeRate   float64
+	nextProbeAt  float64
+
+	revBase float64 // reverse-path constant calibrated at the first response
+	revCal  bool
+
+	reqsSent, segsRx, dups, lostReqs, probes, refetched int64
+	wdTrips, wdRecoveries                               int64
+}
+
+// NewCore validates cfg and builds a scheduler core.
+func NewCore(cfg Config) (*Core, error) {
+	if cfg.CC == nil {
+		return nil, errors.New("fetch: core needs a controller")
+	}
+	if cfg.SegSize <= 0 {
+		cfg.SegSize = DefaultSegSize
+	}
+	if cfg.SegSize > wire.MaxSegPayload {
+		return nil, errors.New("fetch: segment size exceeds wire maximum")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	c := &Core{
+		cfg:     cfg,
+		pend:    make(map[int64]*reqRec),
+		retxSet: make(map[int64]bool),
+		buffer:  make(map[int64][]byte),
+		maxRx:   -1,
+	}
+	if cfg.Hash {
+		c.hash = sha256.New()
+	}
+	return c, nil
+}
+
+// segWire returns the expected wire size of the response to a request
+// for seg (a full segment until the geometry is known).
+func (c *Core) segWire(seg int64) int {
+	n := c.cfg.SegSize
+	if c.geomKnown {
+		if rem := c.objSize - seg*int64(c.cfg.SegSize); rem < int64(n) {
+			n = int(rem)
+		}
+		if n < 0 {
+			n = 0
+		}
+	}
+	return wire.SegmentHeaderLen + n
+}
+
+// request kinds returned by pick.
+const (
+	pickNone = iota
+	pickMeta
+	pickRetx
+	pickFresh
+)
+
+// pick chooses the next request without committing to it, pruning
+// already-delivered entries off the retransmit queue as it goes. The
+// window gate compares expected response bytes against the
+// controller's cwnd — the exact analog of the sender's inflight gate.
+func (c *Core) pick() (kind int, seg int64, size int) {
+	if c.outage || c.Done() {
+		return pickNone, 0, 0
+	}
+	if !c.metaDone && c.metaOut == 0 {
+		kind, size = pickMeta, wire.SegmentHeaderLen+wire.DigestLen
+	} else {
+		for len(c.retx) > 0 {
+			s := c.retx[0]
+			if c.segDone(s) {
+				c.retx = c.retx[1:]
+				delete(c.retxSet, s)
+				continue
+			}
+			kind, seg, size = pickRetx, s, c.segWire(s)
+			break
+		}
+		if kind == pickNone && c.geomKnown && c.next < c.totalSegs && c.next < c.cum+int64(c.cfg.Window) {
+			kind, seg, size = pickFresh, c.next, c.segWire(c.next)
+		}
+	}
+	if kind == pickNone {
+		return pickNone, 0, 0
+	}
+	if float64(c.inflight+size) > c.cfg.CC.CWnd() {
+		return pickNone, 0, 0
+	}
+	return kind, seg, size
+}
+
+// PeekSize returns the expected response size of the next request, or
+// false when nothing may be issued now (complete, outage, reassembly
+// window full, or congestion-window blocked). Drivers use it to take
+// pacing tokens before committing with Issue.
+func (c *Core) PeekSize() (int, bool) {
+	kind, _, size := c.pick()
+	return size, kind != pickNone
+}
+
+// Issue commits the next request: the controller's OnSend fires, the
+// request enters the retransmit bookkeeping, and the descriptor to
+// encode is returned. virt is the scheduled (token-bucket) send time,
+// now the wall time.
+func (c *Core) Issue(now, virt float64) (Request, bool) {
+	kind, seg, size := c.pick()
+	if kind == pickNone {
+		return Request{}, false
+	}
+	switch kind {
+	case pickMeta:
+		c.metaOut++
+	case pickRetx:
+		c.retx = c.retx[1:]
+		delete(c.retxSet, seg)
+	case pickFresh:
+		c.next++
+	}
+	c.capPend(now)
+	c.sp = transport.SentPacket{Seq: c.nonce, Size: size, SentAt: virt}
+	c.cfg.CC.OnSend(now, &c.sp)
+	rec := c.newRec()
+	rec.nonce, rec.seg, rec.size, rec.sentAt, rec.wallAt, rec.mi = c.nonce, seg, size, virt, now, c.sp.MI
+	rec.meta, rec.probe, rec.acked, rec.lost = kind == pickMeta, false, false, false
+	c.nonce++
+	c.pend[rec.nonce] = rec
+	c.order = append(c.order, rec)
+	c.inflight += size
+	c.reqsSent++
+	if kind != pickMeta && c.segDone(seg) {
+		c.refetched++ // structurally unreachable; counted to prove it
+	}
+	return Request{Nonce: rec.nonce, Seg: seg, Meta: rec.meta, Size: size}, true
+}
+
+// Tick runs the periodic work — RTO scan, stall watchdog, probe
+// scheduling — and returns a keep-alive probe request when one is due.
+// Probes re-request a needed segment (or the metadata) but are
+// invisible to the controller: no OnSend, no inflight accounting.
+func (c *Core) Tick(now float64) (Request, bool) {
+	c.checkRTO(now)
+	// Silence on an unfinished transfer is the outage signal — not
+	// "silence with outstanding requests": an RTO sweep can retire every
+	// record mid-blackout, and gating on outstanding() would then leave
+	// nobody to probe the path back to life.
+	if !c.outage && c.reqsSent > 0 && !c.Done() &&
+		now-c.lastRespAt >= c.watchdogTimeout() {
+		c.tripWatchdog(now)
+	}
+	if !c.outage || c.Done() || now < c.nextProbeAt {
+		return Request{}, false
+	}
+	c.nextProbeAt = now + probeEvery
+	c.capPend(now)
+	rec := c.newRec()
+	rec.nonce, rec.sentAt, rec.wallAt = c.nonce, now, now
+	rec.size, rec.mi = 0, 0
+	rec.meta, rec.probe, rec.acked, rec.lost = !c.metaDone, true, false, false
+	if !rec.meta {
+		rec.seg = c.cum // by definition the first undelivered segment
+	}
+	c.nonce++
+	if rec.meta {
+		c.metaOut++
+	}
+	c.pend[rec.nonce] = rec
+	c.order = append(c.order, rec)
+	c.probes++
+	return Request{Nonce: rec.nonce, Seg: rec.seg, Meta: rec.meta, Probe: true}, true
+}
+
+// OnResponse applies one response: request-record retirement with an
+// RTT sample and controller OnAck, then payload delivery (late and
+// probe responses still deliver — data is data), then loss detection.
+// recvAt is the response's arrival stamp on the emulated path; now is
+// the fetcher-clock time of processing.
+func (c *Core) OnResponse(r Response, recvAt, now float64) {
+	c.noteResp(now)
+	if !c.geomKnown && r.TotalSegs > 0 {
+		// Every response carries the geometry, so the fetcher starts
+		// filling the window off whichever response lands first.
+		c.geomKnown = true
+		c.totalSegs = r.TotalSegs
+		c.objSize = r.ObjSize
+		c.done = make([]bool, r.TotalSegs)
+	}
+	if r.Nonce > c.maxRx {
+		c.maxRx = r.Nonce
+	}
+	if rec, ok := c.pend[r.Nonce]; ok && !rec.acked && !rec.lost {
+		c.ackRec(rec, now, recvAt)
+	}
+	c.deliver(r)
+	c.detectLosses(now)
+	c.prune()
+	if rate := c.cfg.CC.PacingRate(); rate > 0 {
+		c.lastGoodRate = rate
+	}
+}
+
+// ackRec retires one outstanding request against its response.
+func (c *Core) ackRec(rec *reqRec, now, recvAt float64) {
+	rec.acked = true
+	if rec.meta {
+		c.metaOut--
+	}
+	if rec.probe {
+		return // liveness only: no controller callbacks, no RTT sample
+	}
+	c.inflight -= rec.size
+	// Timestamp-based RTT exactly as the wire sender measures it: the
+	// forward half against the echoed scheduled-send stamp and the
+	// response's emulated arrival, the reverse half a constant
+	// calibrated once at the first response (a locked constant cannot
+	// masquerade as an RTT trend; a drifting minimum can).
+	if !c.revCal {
+		c.revBase = now - recvAt
+		c.revCal = true
+	}
+	rtt := (recvAt - rec.sentAt) + c.revBase
+	if rtt < 0 {
+		rtt = 0
+	}
+	c.rtt.Update(rtt)
+	if c.cfg.OnRTT != nil {
+		c.cfg.OnRTT(rtt)
+	}
+	c.cfg.CC.OnAck(transport.Ack{
+		Seq: rec.nonce, Bytes: rec.size, SentAt: rec.sentAt, RecvAt: recvAt,
+		Now: now, RTT: rtt, OWD: recvAt - rec.sentAt, MI: rec.mi,
+		Inflight: c.inflight,
+	})
+}
+
+// deliver routes a response's content into the reassembly state. The
+// request record's fate is irrelevant here: a segment that arrives
+// after its request was declared lost is new data all the same, and
+// counting it delivered is what makes retransmissions converge.
+func (c *Core) deliver(r Response) {
+	if r.Meta {
+		if c.metaDone {
+			c.dups++
+			return
+		}
+		copy(c.digest[:], r.Payload)
+		c.metaDone = true
+		return
+	}
+	if !c.geomKnown || r.Seg < 0 || r.Seg >= c.totalSegs || c.done[r.Seg] {
+		c.dups++
+		return
+	}
+	c.done[r.Seg] = true
+	c.segsRx++
+	if r.Seg == c.cum {
+		c.deliverSeg(r.Seg, r.Payload)
+		c.cum++
+	} else if c.hash != nil || c.cfg.OnData != nil {
+		c.buffer[r.Seg] = append([]byte(nil), r.Payload...)
+	}
+	for c.cum < c.totalSegs && c.done[c.cum] {
+		if !c.drainOne() {
+			break
+		}
+	}
+}
+
+// deliverSeg hands one in-order segment to the hash and the data hook.
+func (c *Core) deliverSeg(seg int64, payload []byte) {
+	if c.hash != nil {
+		c.hash.Write(payload)
+	}
+	if c.cfg.OnData != nil {
+		c.cfg.OnData(seg, payload)
+	}
+	if c.geomKnown {
+		// Byte accounting comes from the geometry, not len(payload), so
+		// the payload-free simulator counts identically to the wire.
+		n := c.objSize - seg*int64(c.cfg.SegSize)
+		if n > int64(c.cfg.SegSize) {
+			n = int64(c.cfg.SegSize)
+		}
+		if n > 0 {
+			c.delivered += n
+		}
+	}
+}
+
+// drainOne advances cum across one buffered segment.
+func (c *Core) drainOne() bool {
+	if !c.done[c.cum] {
+		return false
+	}
+	payload, ok := c.buffer[c.cum]
+	if c.hash != nil || c.cfg.OnData != nil {
+		if !ok {
+			return false // cannot happen: done segments were buffered
+		}
+		delete(c.buffer, c.cum)
+	}
+	c.deliverSeg(c.cum, payload)
+	c.cum++
+	return true
+}
+
+// segDone reports whether seg has already been received.
+func (c *Core) segDone(seg int64) bool {
+	return c.geomKnown && seg >= 0 && seg < c.totalSegs && c.done[seg]
+}
+
+// Done reports whether the transfer is complete: geometry and digest
+// known, every segment delivered. On the first true it finalizes the
+// integrity verdict.
+func (c *Core) Done() bool {
+	if c.finished {
+		return true
+	}
+	if !c.metaDone || !c.geomKnown || c.cum < c.totalSegs {
+		return false
+	}
+	c.finished = true
+	if c.hash != nil {
+		c.verified = bytes.Equal(c.hash.Sum(nil), c.digest[:])
+	} else {
+		c.verified = true // no bytes moved; nothing to verify
+	}
+	return true
+}
+
+// Verified reports the end-to-end integrity verdict (meaningful once
+// Done; always true for payload-free sim transfers).
+func (c *Core) Verified() bool { return c.verified }
+
+// DeliveredBytes returns bytes delivered in order so far.
+func (c *Core) DeliveredBytes() int64 { return c.delivered }
+
+// TotalSegsKnown returns the object geometry (0,0 before it is known).
+func (c *Core) TotalSegsKnown() (segs, size int64) { return c.totalSegs, c.objSize }
+
+// SRTT exposes the smoothed RTT estimate.
+func (c *Core) SRTT() float64 { return c.rtt.SRTT() }
+
+// PacingRate mirrors the datapath convention: an explicit controller
+// rate wins; window-based controllers get 1.25·cwnd/srtt once an RTT
+// estimate exists, unpaced before.
+func (c *Core) PacingRate() float64 {
+	if r := c.cfg.CC.PacingRate(); r > 0 {
+		return r
+	}
+	if !c.rtt.Valid() {
+		return math.Inf(1)
+	}
+	cwnd := c.cfg.CC.CWnd()
+	if math.IsInf(cwnd, 1) {
+		return math.Inf(1)
+	}
+	return 1.25 * cwnd / c.rtt.SRTT()
+}
+
+// Stats returns a snapshot of the core's counters.
+func (c *Core) Stats() CoreStats {
+	return CoreStats{
+		ReqsSent: c.reqsSent, SegsRx: c.segsRx, Dups: c.dups,
+		LostReqs: c.lostReqs, Probes: c.probes, Refetched: c.refetched,
+		Delivered: c.delivered, Inflight: c.inflight, Pend: len(c.order),
+		SRTT: c.rtt.SRTT(), WdTrips: c.wdTrips, WdRecov: c.wdRecoveries,
+		InOutage: c.outage, Done: c.finished, Verified: c.verified,
+	}
+}
+
+// --- loss detection and survival -------------------------------------
+
+// noteResp records response liveness: backoff resets, and any response
+// during an outage proves the path healed.
+func (c *Core) noteResp(now float64) {
+	c.lastRespAt = now
+	c.rtoBackoff = 0
+	if c.outage {
+		c.recover(now)
+	}
+}
+
+func (c *Core) watchdogTimeout() float64 {
+	w := 2 * c.rtt.RTO()
+	if w < watchdogFloor {
+		w = watchdogFloor
+	}
+	return w
+}
+
+func (c *Core) effRTO() float64 {
+	base := c.rtt.RTO()
+	rto := base
+	for i := 0; i < c.rtoBackoff; i++ {
+		rto *= 2
+	}
+	if rto > maxRTOCap {
+		rto = math.Max(maxRTOCap, base)
+	}
+	return rto
+}
+
+// tripWatchdog freezes the transfer for an outage: request issuance
+// stops (pick returns nothing), the controller's measurement state is
+// parked, and probing begins.
+func (c *Core) tripWatchdog(now float64) {
+	c.outage = true
+	c.outageAt = now
+	c.wdTrips++
+	c.resumeRate = c.lastGoodRate
+	c.nextProbeAt = now
+	switch cc := c.cfg.CC.(type) {
+	case transport.OutageAware:
+		cc.OnOutage(now)
+	case transport.PauseAware:
+		cc.OnAppPause(now)
+	}
+}
+
+// recover ends an outage at the first delivered response, restoring the
+// controller at the pre-outage operating rate.
+func (c *Core) recover(now float64) {
+	c.outage = false
+	c.wdRecoveries++
+	switch cc := c.cfg.CC.(type) {
+	case transport.OutageAware:
+		cc.OnRecovery(now, c.resumeRate)
+	case transport.PauseAware:
+		cc.OnAppResume(now)
+	}
+}
+
+// detectLosses is the RACK-style rule shared with both datapaths: a
+// request dupRespThreshold nonces behind the highest responded nonce is
+// declared lost only once it is also older than srtt plus a reordering
+// window, so path reordering does not manufacture losses.
+func (c *Core) detectLosses(now float64) {
+	window := c.rtt.SRTT() + c.reorderWindow()
+	for _, rec := range c.order {
+		if rec.nonce > c.maxRx-dupRespThreshold {
+			break
+		}
+		if !rec.acked && !rec.lost && now-rec.wallAt > window {
+			c.markLost(rec, now)
+		}
+	}
+}
+
+func (c *Core) reorderWindow() float64 {
+	w := 4 * c.rtt.RTTVar()
+	if w < 0.004 {
+		w = 0.004
+	}
+	return w
+}
+
+// checkRTO declares every outstanding request older than the RTO lost —
+// the backstop when responses stop entirely.
+func (c *Core) checkRTO(now float64) {
+	rto := c.effRTO()
+	declared := false
+	for _, rec := range c.order {
+		if rec.acked || rec.lost {
+			continue
+		}
+		if now-rec.wallAt < rto {
+			break // send order: the rest are younger
+		}
+		c.markLost(rec, now)
+		declared = true
+	}
+	// Back off only in true response silence; straggler declarations
+	// while responses still flow are ordinary congestion.
+	if declared && now-c.lastRespAt >= rto && c.rtoBackoff < maxRTOBackoff {
+		c.rtoBackoff++
+	}
+	c.prune()
+}
+
+// markLost retires a request as lost: the controller hears OnLoss, and
+// the named segment re-enters the retransmit queue unless it has been
+// delivered through another copy in the meantime — the rule that makes
+// resumption after a blackout re-request only what is actually missing.
+func (c *Core) markLost(rec *reqRec, now float64) {
+	rec.lost = true
+	if rec.meta {
+		c.metaOut--
+	}
+	if rec.probe {
+		return // never in inflight, never reported to the controller
+	}
+	c.inflight -= rec.size
+	c.lostReqs++
+	c.cfg.CC.OnLoss(transport.Loss{
+		Seq: rec.nonce, Bytes: rec.size, SentAt: rec.sentAt, Now: now,
+		MI: rec.mi, Inflight: c.inflight,
+	})
+	if !rec.meta && !c.segDone(rec.seg) {
+		c.pushRetx(rec.seg)
+	}
+}
+
+// pushRetx queues seg for re-request, keeping the queue sorted (lowest
+// first — the segment closest to the delivery point unblocks the most
+// window) and deduplicated.
+func (c *Core) pushRetx(seg int64) {
+	if c.retxSet[seg] {
+		return
+	}
+	c.retxSet[seg] = true
+	i := len(c.retx)
+	c.retx = append(c.retx, 0)
+	for i > 0 && c.retx[i-1] > seg {
+		c.retx[i] = c.retx[i-1]
+		i--
+	}
+	c.retx[i] = seg
+}
+
+// capPend force-retires the oldest record at the bookkeeping cap.
+func (c *Core) capPend(now float64) {
+	if len(c.order) < maxPendRecs {
+		return
+	}
+	if rec := c.order[0]; !rec.acked && !rec.lost {
+		c.markLost(rec, now)
+	}
+	c.prune()
+}
+
+func (c *Core) prune() {
+	i := 0
+	for i < len(c.order) && (c.order[i].acked || c.order[i].lost) {
+		rec := c.order[i]
+		delete(c.pend, rec.nonce)
+		c.free = append(c.free, rec)
+		i++
+	}
+	if i > 0 {
+		n := copy(c.order, c.order[i:])
+		for j := n; j < len(c.order); j++ {
+			c.order[j] = nil
+		}
+		c.order = c.order[:n]
+	}
+}
+
+func (c *Core) newRec() *reqRec {
+	if n := len(c.free); n > 0 {
+		rec := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return rec
+	}
+	return &reqRec{}
+}

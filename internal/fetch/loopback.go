@@ -1,0 +1,232 @@
+package fetch
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"pccproteus/internal/chaos"
+	"pccproteus/internal/transport"
+	"pccproteus/internal/wire"
+)
+
+// LoopbackConfig describes one single-process multi-flow fetch run:
+// one server (receiver + segment store) and Flows concurrent fetchers,
+// each behind its own impairment shim, all over 127.0.0.1 sockets.
+//
+// Per-fetcher shims are a topology choice, not a limitation: the shim
+// learns one dialing endpoint per instance, so giving each fetcher its
+// own shim models independent access links converging on one server —
+// the shape of a fleet download. (Flows contending on one bottleneck is
+// the simulator's department, where the shared-queue coupling is
+// deterministic.)
+type LoopbackConfig struct {
+	NewController func() transport.Controller
+
+	Shim wire.ShimConfig
+	// Flows is the number of concurrent fetchers (default 1); each
+	// fetches its own object of BytesPerFlow bytes (default 1 MiB)
+	// filled with seeded pseudorandom data.
+	Flows        int
+	BytesPerFlow int64
+	SegSize      int
+	Window       int
+	// Timeout bounds the run in real seconds (default 60).
+	Timeout float64
+	// Chaos, when non-nil, replays a fault plan in real time against
+	// every shim, with restarts flushing in-flight queues and resetting
+	// the receiver — the same semantics as the wire sender's loopback.
+	Chaos *chaos.Plan
+	// Seed drives object contents and per-shim impairment RNGs.
+	Seed int64
+}
+
+// FlowResult summarizes one fetcher's transfer.
+type FlowResult struct {
+	Done        bool
+	Verified    bool
+	Bytes       int64 // delivered in order
+	Secs        float64
+	GoodputMbps float64
+	P50RTT      float64 // seconds
+	P95RTT      float64
+	P99RTT      float64
+	Fetcher     FetcherStats
+	Shim        wire.ShimStats
+}
+
+// LoopbackResult summarizes one multi-flow fetch run.
+type LoopbackResult struct {
+	Flows       []FlowResult
+	Receiver    wire.ReceiverStats
+	TotalBytes  int64
+	AggMbps     float64 // total delivered bytes over the wall duration
+	AllDone     bool
+	AllVerified bool
+}
+
+// RunLoopback executes one multi-flow fetch scenario end to end,
+// blocking until every transfer completes or Timeout elapses.
+func RunLoopback(cfg LoopbackConfig) (*LoopbackResult, error) {
+	if cfg.NewController == nil {
+		return nil, fmt.Errorf("fetch: loopback needs a controller factory")
+	}
+	if cfg.Flows <= 0 {
+		cfg.Flows = 1
+	}
+	if cfg.BytesPerFlow <= 0 {
+		cfg.BytesPerFlow = 1 << 20
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	// Server: one receiver answering fetches from an in-memory store of
+	// per-flow objects with deterministic pseudorandom contents.
+	store := NewStore(cfg.SegSize)
+	objIDs := make([]uint64, cfg.Flows)
+	for i := 0; i < cfg.Flows; i++ {
+		data := make([]byte, cfg.BytesPerFlow)
+		rng := rand.New(rand.NewSource(wire.MixSeed(seed, int64(i))))
+		rng.Read(data)
+		objIDs[i] = store.Add(fmt.Sprintf("obj-%d", i), data)
+	}
+	rconn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	rconn.SetReadBuffer(1 << 21)
+	rconn.SetWriteBuffer(1 << 21)
+	recv := &wire.Receiver{Conn: rconn, OnFetch: store.HandleFetch}
+	if err := recv.Start(); err != nil {
+		rconn.Close()
+		return nil, err
+	}
+	defer recv.Stop()
+
+	shims := make([]*wire.Shim, cfg.Flows)
+	fetchers := make([]*Fetcher, cfg.Flows)
+	cleanup := func() {
+		for _, f := range fetchers {
+			if f != nil {
+				f.Stop()
+			}
+		}
+		for _, sh := range shims {
+			if sh != nil {
+				sh.Stop()
+			}
+		}
+	}
+	for i := 0; i < cfg.Flows; i++ {
+		shimCfg := cfg.Shim
+		shimCfg.Seed = wire.MixSeed(seed, 0x5ea1+int64(i))
+		sh, err := wire.NewShim(shimCfg, recv.Addr())
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err := sh.Start(); err != nil {
+			sh.Stop()
+			cleanup()
+			return nil, err
+		}
+		shims[i] = sh
+		conn, err := net.DialUDP("udp", nil, sh.Addr())
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		conn.SetReadBuffer(1 << 21)
+		conn.SetWriteBuffer(1 << 21)
+		f := &Fetcher{
+			Conn: conn, CC: cfg.NewController(), ObjID: objIDs[i],
+			SegSize: store.SegSize, Window: cfg.Window,
+		}
+		if err := f.Start(); err != nil {
+			conn.Close()
+			cleanup()
+			return nil, err
+		}
+		fetchers[i] = f
+	}
+	defer cleanup()
+
+	// Chaos replay: every step lands on all shims; a restart flushes
+	// their in-flight queues and resets the receiver's flow state.
+	if cfg.Chaos != nil {
+		plan := cfg.Chaos.Canonical()
+		steps := plan.Steps(cfg.Timeout)
+		go func() {
+			t0 := time.Now()
+			for _, step := range steps {
+				d := time.Duration(step.At*float64(time.Second)) - time.Since(t0)
+				if d > 0 {
+					time.Sleep(d)
+				}
+				if step.Restart {
+					for _, sh := range shims {
+						sh.Flush()
+					}
+					recv.Reset()
+					continue
+				}
+				for _, sh := range shims {
+					sh.SetFault(step.State)
+				}
+			}
+		}()
+	}
+
+	t0 := time.Now()
+	deadline := t0.Add(time.Duration(cfg.Timeout * float64(time.Second)))
+	endAt := make([]time.Time, cfg.Flows)
+	pending := make(map[int]struct{}, cfg.Flows)
+	for i := range fetchers {
+		pending[i] = struct{}{}
+	}
+	for len(pending) > 0 && time.Now().Before(deadline) {
+		for i := range pending {
+			select {
+			case <-fetchers[i].Done():
+				endAt[i] = time.Now()
+				delete(pending, i)
+			default:
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	wall := time.Since(t0).Seconds()
+
+	res := &LoopbackResult{AllDone: true, AllVerified: true}
+	for i, f := range fetchers {
+		st := f.Stats()
+		secs := wall
+		if !endAt[i].IsZero() {
+			secs = endAt[i].Sub(t0).Seconds()
+		}
+		p50, p95, p99 := f.RTTQuantiles()
+		fr := FlowResult{
+			Done: st.Done, Verified: st.Verified, Bytes: st.Delivered,
+			Secs: secs, P50RTT: p50, P95RTT: p95, P99RTT: p99,
+			Fetcher: st, Shim: shims[i].Stats(),
+		}
+		if secs > 0 {
+			fr.GoodputMbps = float64(st.Delivered) * 8 / secs / 1e6
+		}
+		res.Flows = append(res.Flows, fr)
+		res.TotalBytes += st.Delivered
+		res.AllDone = res.AllDone && st.Done
+		res.AllVerified = res.AllVerified && st.Verified
+	}
+	res.Receiver = recv.Stats()
+	if wall > 0 {
+		res.AggMbps = float64(res.TotalBytes) * 8 / wall / 1e6
+	}
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package fetch
+
+import (
+	"math"
+	"testing"
+
+	"pccproteus/internal/chaos"
+	"pccproteus/internal/netem"
+	"pccproteus/internal/sim"
+)
+
+// simFetch runs one SimTransfer on a fresh path and returns it with the
+// completion time (or -1 if it never finished before the horizon).
+func simFetch(t *testing.T, cc *fixedCC, bytes int64, horizon float64,
+	mutate func(s *sim.Sim, link *netem.Link, path *netem.Path)) (*SimTransfer, float64) {
+	t.Helper()
+	s := sim.New(1)
+	link := netem.NewLink(s, 10, 50_000, 0.020) // 10 Mbps, 20 ms one way
+	path := &netem.Path{Link: link, AckDelay: 0.020}
+	if mutate != nil {
+		mutate(s, link, path)
+	}
+	doneAt := -1.0
+	tr := &SimTransfer{
+		S: s, Path: path, CC: cc, ID: 1, ObjectBytes: bytes,
+		OnComplete: func(now float64) { doneAt = now },
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(horizon)
+	return tr, doneAt
+}
+
+func TestSimTransferClean(t *testing.T) {
+	cc := &fixedCC{rate: 5e5, cwnd: math.Inf(1)} // 4 Mbps, under the 10 Mbps bottleneck
+	tr, doneAt := simFetch(t, cc, 1<<20, 30, nil)
+	if !tr.Done() {
+		t.Fatalf("transfer incomplete: %+v", tr.Stats())
+	}
+	st := tr.Stats()
+	if st.LostReqs != 0 || st.Refetched != 0 || st.Dups != 0 {
+		t.Fatalf("clean path saw lost=%d refetched=%d dups=%d", st.LostReqs, st.Refetched, st.Dups)
+	}
+	if tr.DeliveredBytes() != 1<<20 {
+		t.Fatalf("delivered=%d want %d", tr.DeliveredBytes(), int64(1)<<20)
+	}
+	// Paced at 5e5 B/s of response wire bytes, 1 MiB of payload plus
+	// headers takes ~2.2 s; the path adds one RTT of startup.
+	ideal := float64(1<<20) / (5e5 * float64(DefaultSegSize) / float64(DefaultSegSize+67))
+	if doneAt < ideal*0.9 || doneAt > ideal*1.5 {
+		t.Fatalf("completion at %.2fs, ideal %.2fs", doneAt, ideal)
+	}
+}
+
+func TestSimTransferUnderLoss(t *testing.T) {
+	cc := &fixedCC{rate: 5e5, cwnd: math.Inf(1)}
+	tr, _ := simFetch(t, cc, 1<<20, 60, func(s *sim.Sim, link *netem.Link, path *netem.Path) {
+		link.CorruptProb = 0.02
+	})
+	if !tr.Done() {
+		t.Fatalf("transfer incomplete under 2%% loss: %+v", tr.Stats())
+	}
+	st := tr.Stats()
+	if st.LostReqs == 0 {
+		t.Fatalf("no losses declared under 2%% corruption")
+	}
+	if st.Refetched != 0 {
+		t.Fatalf("refetched=%d want 0", st.Refetched)
+	}
+	if tr.DeliveredBytes() != 1<<20 {
+		t.Fatalf("delivered=%d", tr.DeliveredBytes())
+	}
+}
+
+// A mid-transfer blackout trips the watchdog, probes detect the heal,
+// and the transfer resumes without re-fetching delivered segments.
+func TestSimTransferBlackoutResume(t *testing.T) {
+	cc := &fixedCC{rate: 5e5, cwnd: math.Inf(1)}
+	plan := chaos.Plan{Seed: 1, Faults: []chaos.Fault{
+		{Kind: chaos.KindBlackout, At: 1.0, Dur: 1.5},
+	}}
+	tr, doneAt := simFetch(t, cc, 2<<20, 60, func(s *sim.Sim, link *netem.Link, path *netem.Path) {
+		chaos.ApplySim(s, link, path, plan, 60)
+	})
+	if !tr.Done() {
+		t.Fatalf("transfer never resumed after blackout: %+v", tr.Stats())
+	}
+	st := tr.Stats()
+	if st.WdTrips == 0 || st.WdRecov == 0 {
+		t.Fatalf("watchdog trips=%d recov=%d; want both nonzero", st.WdTrips, st.WdRecov)
+	}
+	if st.Probes == 0 {
+		t.Fatalf("no probes during the blackout")
+	}
+	if st.Refetched != 0 {
+		t.Fatalf("blackout resume re-fetched %d delivered segments", st.Refetched)
+	}
+	if tr.DeliveredBytes() != 2<<20 {
+		t.Fatalf("delivered=%d", tr.DeliveredBytes())
+	}
+	if doneAt < 2.5 {
+		t.Fatalf("completion at %.2fs is inside the blackout window", doneAt)
+	}
+}

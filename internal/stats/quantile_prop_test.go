@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the reference: the p-th order statistic of the
+// sorted samples (lower interpolation, matching the sketch's "mass at
+// or below" semantics).
+func exactQuantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Property: for in-range samples, every quantile estimate lands within
+// one bin's geometric ratio of the exact sorted-sample quantile — the
+// resolution bound a log-binned sketch promises.
+func TestLogHistQuantilePropertyVsSorted(t *testing.T) {
+	const (
+		lo, hi = 1e-4, 10.0
+		bins   = 160
+	)
+	// One bin spans a ratio of (hi/lo)^(1/bins); estimates may also
+	// straddle a bin edge against the reference, so allow two bins.
+	tol := math.Pow(math.Pow(hi/lo, 1.0/bins), 2)
+
+	rng := rand.New(rand.NewSource(1))
+	distributions := []struct {
+		name string
+		draw func() float64
+	}{
+		{"uniform-log", func() float64 {
+			return lo * math.Pow(hi/lo, rng.Float64()) * 0.9999
+		}},
+		{"lognormal", func() float64 {
+			return 0.05 * math.Exp(rng.NormFloat64()*0.8)
+		}},
+		{"exponential", func() float64 {
+			return 0.01 + rng.ExpFloat64()*0.2
+		}},
+		{"bimodal", func() float64 {
+			if rng.Intn(2) == 0 {
+				return 0.02 + rng.Float64()*0.01
+			}
+			return 1.5 + rng.Float64()*0.5
+		}},
+	}
+	quantiles := []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}
+
+	for _, dist := range distributions {
+		for _, n := range []int{10, 1000, 50000} {
+			h := NewLogHist(lo, hi, bins)
+			samples := make([]float64, 0, n)
+			for i := 0; i < n; i++ {
+				x := dist.draw()
+				if x < lo {
+					x = lo
+				}
+				if x >= hi {
+					x = hi * 0.9999
+				}
+				h.Add(x)
+				samples = append(samples, x)
+			}
+			sort.Float64s(samples)
+			for _, p := range quantiles {
+				got := h.Quantile(p)
+				want := exactQuantile(samples, p)
+				if ratio := got / want; ratio > tol || ratio < 1/tol {
+					t.Errorf("%s n=%d p=%.2f: sketch %.6g vs exact %.6g (ratio %.4f, tol %.4f)",
+						dist.name, n, p, got, want, ratio, tol)
+				}
+			}
+		}
+	}
+}
+
+// Extremes behave: p=0 and p=1 bracket every recorded sample, and
+// out-of-range mass clamps to the sketch bounds.
+func TestLogHistQuantileExtremes(t *testing.T) {
+	h := NewLogHist(1e-3, 1e3, 60)
+	rng := rand.New(rand.NewSource(2))
+	minS, maxS := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 1000; i++ {
+		x := math.Exp(rng.NormFloat64() * 2)
+		h.Add(x)
+		if x < minS {
+			minS = x
+		}
+		if x > maxS {
+			maxS = x
+		}
+	}
+	binRatio := math.Pow(1e6, 1.0/60)
+	if q := h.Quantile(0); q > minS*binRatio {
+		t.Fatalf("p=0 quantile %.6g above min sample %.6g", q, minS)
+	}
+	if q := h.Quantile(1); q < maxS/binRatio {
+		t.Fatalf("p=1 quantile %.6g below max sample %.6g", q, maxS)
+	}
+
+	under := NewLogHist(1, 10, 4)
+	under.Add(0.5) // underflow
+	under.Add(99)  // overflow
+	if q := under.Quantile(0.25); q != 1 {
+		t.Fatalf("underflow mass should clamp to Lo: got %v", q)
+	}
+	if q := under.Quantile(1); q != 10 {
+		t.Fatalf("overflow mass should clamp to Hi: got %v", q)
+	}
+}

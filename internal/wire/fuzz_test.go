@@ -73,3 +73,70 @@ func FuzzDecodeAck(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeFetch proves the fetch-request codec never panics and that
+// every accepted request re-encodes byte-identically (the packet is all
+// header, so the round trip is total).
+func FuzzDecodeFetch(f *testing.F) {
+	var buf [FetchLen]byte
+	f.Add(append([]byte(nil), EncodeFetch(buf[:], FetchHeader{ObjID: 7, Seg: 3, Nonce: 9, SentAt: 1e18})...))
+	f.Add(append([]byte(nil), EncodeFetch(buf[:], FetchHeader{Meta: true})...))
+	f.Add([]byte{})
+	f.Add([]byte{typeFetch, wireVersion})
+	f.Add(bytes.Repeat([]byte{0xff}, FetchLen))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := DecodeFetch(b)
+		if err != nil {
+			return
+		}
+		if h.Seg < 0 || h.Nonce < 0 || h.SentAt < 0 {
+			t.Fatalf("accepted negative fields: %+v", h)
+		}
+		out := EncodeFetch(buf[:], h)
+		if !bytes.Equal(out, b) {
+			t.Fatalf("fetch round-trip mismatch:\n in %x\nout %x", b, out)
+		}
+	})
+}
+
+// FuzzDecodeSegment proves the segment codec never panics, that every
+// accepted segment satisfies the documented invariants (consistent
+// geometry, exact payload length, verified CRC), and that accepted
+// packets re-encode byte-identically.
+func FuzzDecodeSegment(f *testing.F) {
+	var buf [2048]byte
+	f.Add(append([]byte(nil), EncodeSegment(buf[:], SegmentHeader{
+		Nonce: 1, SentAtEcho: 2, Arrival: 3, TotalSegs: 4, ObjSize: 4000, Seg: 2,
+	}, bytes.Repeat([]byte{0xab}, 1000))...))
+	f.Add(append([]byte(nil), EncodeSegment(buf[:], SegmentHeader{
+		Meta: true, TotalSegs: 1, ObjSize: 10,
+	}, bytes.Repeat([]byte{0x11}, DigestLen))...))
+	f.Add(append([]byte(nil), EncodeSegment(buf[:], SegmentHeader{TotalSegs: 1}, nil)...))
+	f.Add([]byte{})
+	f.Add([]byte{typeSegment, wireVersion})
+	f.Add(bytes.Repeat([]byte{0xff}, SegmentHeaderLen))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, payload, err := DecodeSegment(b)
+		if err != nil {
+			return
+		}
+		if h.Nonce < 0 || h.SentAtEcho < 0 || h.Arrival < 0 ||
+			h.TotalSegs <= 0 || h.ObjSize < 0 || h.Seg < 0 {
+			t.Fatalf("accepted negative/zero fields: %+v", h)
+		}
+		if len(payload) != len(b)-SegmentHeaderLen {
+			t.Fatalf("payload length %d for %d-byte packet", len(payload), len(b))
+		}
+		if h.Meta && (len(payload) != DigestLen || h.Seg != 0) {
+			t.Fatalf("accepted inconsistent meta: %+v len=%d", h, len(payload))
+		}
+		if !h.Meta && h.Seg >= h.TotalSegs {
+			t.Fatalf("accepted seg %d of %d", h.Seg, h.TotalSegs)
+		}
+		out := make([]byte, len(b))
+		EncodeSegment(out, h, payload)
+		if !bytes.Equal(out, b) {
+			t.Fatalf("segment round-trip mismatch:\n in %x\nout %x", b, out)
+		}
+	})
+}

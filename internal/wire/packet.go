@@ -91,11 +91,12 @@ func EncodeData(buf []byte, h DataHeader, size int) []byte {
 	return buf[:size]
 }
 
-// StampArrival rewrites the arrival field of an encoded data packet in
-// place — the impairment shim's hook. It reports false when b is not a
-// data packet.
+// StampArrival rewrites the arrival field of an encoded data or
+// segment packet in place — the impairment shim's hook (segments put
+// their arrival stamp at the same offset by design). It reports false
+// when b is neither.
 func StampArrival(b []byte, nanos int64) bool {
-	if len(b) < DataHeaderLen || b[0] != typeData || b[1] != wireVersion {
+	if len(b) < DataHeaderLen || (b[0] != typeData && b[0] != typeSegment) || b[1] != wireVersion {
 		return false
 	}
 	binary.BigEndian.PutUint64(b[18:], uint64(nanos))
@@ -220,13 +221,14 @@ func DecodeAck(b []byte, a *AckPacket) error {
 }
 
 // PacketType classifies a raw datagram for the shim's proxy loop
-// without a full decode: 'P' for data, 'A' for acks, 0 for junk.
+// without a full decode: 'P' for data, 'A' for acks, 'F' for fetch
+// requests, 'S' for segments, 0 for junk.
 func PacketType(b []byte) byte {
 	if len(b) == 0 {
 		return 0
 	}
 	switch b[0] {
-	case typeData, typeAck:
+	case typeData, typeAck, typeFetch, typeSegment:
 		return b[0]
 	}
 	return 0

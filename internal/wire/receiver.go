@@ -19,6 +19,8 @@ type ReceiverStats struct {
 	BadPkts   int64 // datagrams rejected by the codec (corrupt/garbage)
 	Flows     int   // live per-source flows
 	Evicted   int64 // flows evicted (idle deadline or flow-cap pressure)
+	FetchReqs int64 // fetch requests dispatched to OnFetch
+	SegsSent  int64 // segment responses written back
 }
 
 // flowState is the per-source ack state: a cumulative ack plus SACK
@@ -107,6 +109,14 @@ type Receiver struct {
 	// OnDeliver, when set, observes every arriving data packet (bytes,
 	// receiver-clock seconds). Called from the receive goroutine.
 	OnDeliver func(now float64, bytes int)
+	// OnFetch, when set, answers fetch requests: it is handed the
+	// decoded request and a scratch buffer (MaxDataLen bytes, reused
+	// across calls) and returns the encoded SEGMENT response to write
+	// back, or nil to ignore the request (unknown object). Called from
+	// the receive goroutine, so implementations must be safe against
+	// the receiver's other callbacks but need no internal locking of
+	// the buffer. Set before Start.
+	OnFetch func(h FetchHeader, buf []byte) []byte
 	// IdleTimeout evicts a flow after this many seconds of silence;
 	// zero means defaultIdleTimeout. Set before Start.
 	IdleTimeout float64
@@ -123,12 +133,21 @@ type Receiver struct {
 	acks      int64
 	bad       int64
 	evicted   int64
+	fetchReqs int64
+	segsSent  int64
 	highest   int64
 	lastCum   int64 // cum of the most recently active flow, for stats
 	lastSweep float64
 
 	ackScratch AckPacket
 	ackBuf     [MaxAckLen]byte
+	// Eviction's final ack uses its own scratch: eviction runs inside
+	// the sweep, which the loop calls *between* encoding the pending ack
+	// into ackBuf and writing it out after unlock — sharing the buffer
+	// would corrupt that in-flight ack.
+	evictScratch AckPacket
+	evictBuf     [MaxAckLen]byte
+	fetchBuf     []byte // OnFetch response scratch, allocated at Start
 
 	started  bool
 	done     chan struct{}
@@ -152,6 +171,9 @@ func (r *Receiver) Start() error {
 	}
 	if r.MaxFlows <= 0 {
 		r.MaxFlows = defaultMaxFlows
+	}
+	if r.OnFetch != nil {
+		r.fetchBuf = make([]byte, MaxDataLen)
 	}
 	r.done = make(chan struct{})
 	r.started = true
@@ -190,6 +212,7 @@ func (r *Receiver) Stats() ReceiverStats {
 		Pkts: r.pkts, Bytes: r.bytes, Dups: r.dups, AcksSent: r.acks,
 		HighestRx: r.highest, CumAck: r.lastCum, BadPkts: r.bad,
 		Flows: len(r.flows), Evicted: r.evicted,
+		FetchReqs: r.fetchReqs, SegsSent: r.segsSent,
 	}
 }
 
@@ -208,6 +231,7 @@ func (r *Receiver) flow(src netip.AddrPort, now float64) *flowState {
 				oldKey = k
 			}
 		}
+		r.flushFinalAck(oldKey, r.flows[oldKey])
 		delete(r.flows, oldKey)
 		r.evicted++
 	}
@@ -225,10 +249,34 @@ func (r *Receiver) sweep(now float64) {
 	r.lastSweep = now
 	for k, f := range r.flows {
 		if now-f.lastSeen > r.IdleTimeout {
+			r.flushFinalAck(k, f)
 			delete(r.flows, k)
 			r.evicted++
 		}
 	}
+}
+
+// flushFinalAck sends one last cumulative ack to a flow about to be
+// evicted, so a sender whose data raced the eviction learns which
+// packets actually landed instead of discovering the gap by RTO after
+// it rebinds. Called with the mutex held; the write itself is rare
+// (evictions are exceptional) so holding the lock across it is fine.
+func (r *Receiver) flushFinalAck(src netip.AddrPort, f *flowState) {
+	if r.Conn == nil { // unit-level flow-table tests run socketless
+		return
+	}
+	ack := &r.evictScratch
+	ack.Seq = f.highest
+	if ack.Seq < 0 {
+		ack.Seq = 0
+	}
+	ack.SentAtEcho = 0
+	ack.RecvAt = r.clock.WallNanos()
+	ack.CumAck = f.cum
+	ack.Blocks = append(ack.Blocks[:0], f.ranges...)
+	pkt := ack.Encode(r.evictBuf[:])
+	r.acks++
+	r.Conn.WriteToUDPAddrPort(pkt, src)
 }
 
 func (r *Receiver) loop() {
@@ -252,6 +300,29 @@ func (r *Receiver) loop() {
 			// Transient socket errors (ICMP unreachable while a peer
 			// restarts, spurious EINTR) must not kill the ack clock.
 			time.Sleep(time.Millisecond)
+			continue
+		}
+		if n > 0 && buf[0] == typeFetch && r.OnFetch != nil {
+			fh, ferr := DecodeFetch(buf[:n])
+			if ferr != nil {
+				r.mu.Lock()
+				r.bad++
+				r.mu.Unlock()
+				continue
+			}
+			// The segment store is read-only after load and fetchBuf is
+			// owned by this goroutine, so no lock is needed around the
+			// callback; only the counters take the mutex.
+			resp := r.OnFetch(fh, r.fetchBuf)
+			r.mu.Lock()
+			r.fetchReqs++
+			if resp != nil {
+				r.segsSent++
+			}
+			r.mu.Unlock()
+			if resp != nil {
+				r.Conn.WriteToUDPAddrPort(resp, src)
+			}
 			continue
 		}
 		h, derr := DecodeData(buf[:n])

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
 	"math"
 	"math/rand"
@@ -38,11 +39,12 @@ type ShimConfig struct {
 // (including the fault-attribution counters, so a chaos plan replayed
 // through both worlds can be compared category by category).
 type ShimStats struct {
-	Enqueued   int64 // data packets accepted into the queue
-	Dropped    int64 // data packets tail-dropped
-	LostRandom int64 // data packets destroyed by random loss
-	Delivered  int64 // data packets forwarded to the receiver
+	Enqueued   int64 // bottleneck packets (data/segments) accepted into the queue
+	Dropped    int64 // bottleneck packets tail-dropped
+	LostRandom int64 // bottleneck packets destroyed by random loss
+	Delivered  int64 // bottleneck packets forwarded to their endpoint
 	AcksRelay  int64 // acks forwarded to the sender
+	FetchRelay int64 // fetch requests forwarded to the server
 	Overflow   int64 // packets lost to shim internal backlog (should be 0)
 	SentBytes  int64 // bytes serialized through the emulated bottleneck
 
@@ -74,11 +76,15 @@ type ShimUpdate struct {
 // break this invariant for the main stream.) epoch stamps the restart
 // epoch at enqueue: items from a flushed epoch are discarded at
 // release.
+// toSender selects the release destination: the learned dialing
+// endpoint (a wire sender's acks, a fetcher's segments) instead of the
+// configured dst.
 type forwardItem struct {
-	at    float64
-	buf   []byte
-	n     int
-	epoch uint64
+	at       float64
+	buf      []byte
+	n        int
+	epoch    uint64
+	toSender bool
 }
 
 // Shim is a userspace netem: a UDP proxy that receives the sender's
@@ -288,14 +294,19 @@ func (sh *Shim) readLoop() {
 		}
 		switch PacketType(buf[:n]) {
 		case typeData:
-			sh.handleData(buf, n, src)
+			sh.handleBottleneck(buf, n, src, false)
+		case typeSegment:
+			sh.handleBottleneck(buf, n, src, true)
 		case typeAck:
 			sh.handleAck(buf, n)
+		case typeFetch:
+			sh.handleFetch(buf, n, src)
 		}
 	}
 }
 
-// handleData passes one data packet through the emulated bottleneck.
+// handleBottleneck passes one data or segment packet through the
+// emulated bottleneck.
 //
 // The bottleneck timeline is virtual: it is computed from the packet's
 // own send stamp, normalized by the sender→shim latency observed on
@@ -311,13 +322,28 @@ func (sh *Shim) readLoop() {
 // that is a fraction of a millisecond off merely shifts every RTT by
 // the same amount. Physical forwarding still happens at the scheduled
 // wall time; only measurement uses the virtual stamps.
-func (sh *Shim) handleData(buf []byte, n int, src *net.UDPAddr) {
-	h, err := DecodeData(buf[:n])
-	if err != nil {
-		return
+// In fetch mode the same virtual bottleneck carries SEGMENT responses
+// in the server→fetcher direction (seg=true): a segment echoes its
+// request's scheduled-send stamp at the data packet's sentAt offset, so
+// the virtual timeline is a deterministic function of the *fetcher's*
+// pacing schedule, with the request's reverse trip and the server's
+// turnaround absorbed into the first-packet calibration as constants.
+func (sh *Shim) handleBottleneck(buf []byte, n int, src *net.UDPAddr, seg bool) {
+	var sentNanos int64
+	if seg {
+		if n < SegmentHeaderLen || buf[1] != wireVersion {
+			return
+		}
+		sentNanos = int64(binary.BigEndian.Uint64(buf[10:]))
+	} else {
+		h, err := DecodeData(buf[:n])
+		if err != nil {
+			return
+		}
+		sentNanos = h.SentAt
 	}
 	sh.mu.Lock()
-	if sh.senderAddr == nil || !sh.senderAddr.IP.Equal(src.IP) || sh.senderAddr.Port != src.Port {
+	if !seg && (sh.senderAddr == nil || !sh.senderAddr.IP.Equal(src.IP) || sh.senderAddr.Port != src.Port) {
 		sh.senderAddr = src // learn/refresh the sender's return address
 	}
 	if sh.fault.LinkDown {
@@ -329,7 +355,7 @@ func (sh *Shim) handleData(buf []byte, n int, src *net.UDPAddr) {
 	}
 	now := sh.clock.Now()
 	sh.accrueCapacity(now)
-	sentAt := sh.clock.SecondsSince(h.SentAt)
+	sentAt := sh.clock.SecondsSince(sentNanos)
 	if !sh.inCal {
 		sh.inBase = now - sentAt
 		sh.inCal = true
@@ -406,7 +432,7 @@ func (sh *Shim) handleData(buf []byte, n int, src *net.UDPAddr) {
 	} else {
 		StampArrival(b[:n], stamp)
 	}
-	if !sh.enqueue(ch, forwardItem{at: arrival, buf: b, n: n, epoch: sh.epoch}) {
+	if !sh.enqueue(ch, forwardItem{at: arrival, buf: b, n: n, epoch: sh.epoch, toSender: seg}) {
 		sh.bufPool.Put(b)
 	}
 	if dup {
@@ -416,9 +442,40 @@ func (sh *Shim) handleData(buf []byte, n int, src *net.UDPAddr) {
 		b2 := sh.bufPool.Get().([]byte)
 		copy(b2, buf[:n])
 		StampArrival(b2[:n], stamp)
-		if !sh.enqueue(ch, forwardItem{at: arrival, buf: b2, n: n, epoch: sh.epoch}) {
+		if !sh.enqueue(ch, forwardItem{at: arrival, buf: b2, n: n, epoch: sh.epoch, toSender: seg}) {
 			sh.bufPool.Put(b2)
 		}
+	}
+	sh.mu.Unlock()
+}
+
+// handleFetch relays a fetch request to the server after the
+// reverse-path delay — requests are the fetch protocol's mirror image
+// of acks: small control datagrams whose congestion effects are modeled
+// as a fixed delay, while the segment responses they elicit pay the
+// emulated bottleneck. The request's source is the learned dialing
+// endpoint, so segments and any cohabiting ack traffic return to the
+// fetcher.
+func (sh *Shim) handleFetch(buf []byte, n int, src *net.UDPAddr) {
+	sh.mu.Lock()
+	if sh.senderAddr == nil || !sh.senderAddr.IP.Equal(src.IP) || sh.senderAddr.Port != src.Port {
+		sh.senderAddr = src
+	}
+	if sh.fault.LinkDown || sh.fault.AckDown {
+		sh.stats.AckFaultDrop++
+		sh.mu.Unlock()
+		return
+	}
+	now := sh.clock.Now()
+	out := now + sh.ackDelay
+	if out < sh.lastAckOut {
+		out = sh.lastAckOut
+	}
+	sh.lastAckOut = out
+	b := sh.bufPool.Get().([]byte)
+	copy(b, buf[:n])
+	if !sh.enqueue(sh.ackCh, forwardItem{at: out, buf: b, n: n, epoch: sh.epoch}) {
+		sh.bufPool.Put(b)
 	}
 	sh.mu.Unlock()
 }
@@ -443,7 +500,7 @@ func (sh *Shim) handleAck(buf []byte, n int) {
 	sh.lastAckOut = out
 	b := sh.bufPool.Get().([]byte)
 	copy(b, buf[:n])
-	if !sh.enqueue(sh.ackCh, forwardItem{at: out, buf: b, n: n, epoch: sh.epoch}) {
+	if !sh.enqueue(sh.ackCh, forwardItem{at: out, buf: b, n: n, epoch: sh.epoch, toSender: true}) {
 		sh.bufPool.Put(b)
 	}
 	sh.mu.Unlock()
@@ -498,15 +555,20 @@ func (sh *Shim) drainForward(ch chan forwardItem) {
 				return
 			}
 			sh.mu.Lock()
-			stale := it.epoch != sh.epoch
-			if stale {
+			var to *net.UDPAddr
+			if it.epoch != sh.epoch {
 				sh.stats.Flushed++
 			} else {
 				sh.stats.Delivered++
+				if it.toSender {
+					to = sh.senderAddr
+				} else {
+					to = sh.dst
+				}
 			}
 			sh.mu.Unlock()
-			if !stale {
-				sh.conn.WriteToUDP(it.buf[:it.n], sh.dst)
+			if to != nil {
+				sh.conn.WriteToUDP(it.buf[:it.n], to)
 			}
 			sh.bufPool.Put(it.buf)
 		}
@@ -524,12 +586,15 @@ func (sh *Shim) forwardAcks() {
 				return
 			}
 			sh.mu.Lock()
-			dst := sh.senderAddr
+			var dst *net.UDPAddr
 			if it.epoch != sh.epoch {
 				sh.stats.AckFlushed++
-				dst = nil
-			} else {
+			} else if it.toSender {
 				sh.stats.AcksRelay++
+				dst = sh.senderAddr
+			} else {
+				sh.stats.FetchRelay++
+				dst = sh.dst
 			}
 			sh.mu.Unlock()
 			if dst != nil {
