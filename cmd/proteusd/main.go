@@ -25,9 +25,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"pccproteus/internal/engine"
 	"pccproteus/internal/exp"
 	"pccproteus/internal/fetch"
 	"pccproteus/internal/transport"
@@ -62,9 +65,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: proteusd <recv|send|demo> [flags]
 
-  recv  -listen ADDR [-serve DIR]         ack-generating receiver / fetch server
-  send  -to ADDR -proto NAME [-shim ...]  congestion-controlled sender
-  demo  [-proto NAME ...]                 single-process loopback run
+  recv  -listen ADDR [-serve DIR] [-engine -shards N]    ack-generating receiver / fetch server
+  send  -to ADDR -proto NAME [-flows N] [-engine] [-shim ...]  congestion-controlled sender
+  demo  [-proto NAME ...]                                single-process loopback run
 
 run "proteusd <mode> -h" for the mode's flags`)
 }
@@ -108,6 +111,26 @@ func dialUDPRetry(dst *net.UDPAddr) (*net.UDPConn, error) {
 	return nil, fmt.Errorf("dial %s: %w", dst, err)
 }
 
+// startFlows admits n flows through start, enforcing the flow cap
+// BEFORE anything is spawned: an over-cap batch must be rejected
+// whole, costing zero goroutines, sockets, or engine slots — under
+// admission churn a check placed after the spawn leaks resources on
+// every rejected round.
+func startFlows(n, maxFlows int, start func(i int) error) error {
+	if n < 1 {
+		return fmt.Errorf("proteusd: need at least one flow, got %d", n)
+	}
+	if maxFlows > 0 && n > maxFlows {
+		return fmt.Errorf("proteusd: %d flows exceed -max-flows %d", n, maxFlows)
+	}
+	for i := 0; i < n; i++ {
+		if err := start(i); err != nil {
+			return fmt.Errorf("flow %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // runRecv listens for the data stream and prints a per-second line of
 // receive-side counters until interrupted.
 func runRecv(args []string) error {
@@ -117,11 +140,19 @@ func runRecv(args []string) error {
 	idle := fs.Float64("idle", 60, "evict a flow after this many seconds without packets (0 = default)")
 	maxFlows := fs.Int("max-flows", 0, "flow-state cap; stalest flow is evicted at the cap (0 = default)")
 	serve := fs.String("serve", "", "also answer segmented fetch requests for every file in this directory (proteusfetch is the client)")
+	engineMode := fs.Bool("engine", false, "receive on the sharded event-loop engine (shard i listens on port+i)")
+	shards := fs.Int("shards", 2, "engine shards (with -engine)")
 	fs.Parse(args)
 
 	addr, err := net.ResolveUDPAddr("udp", *listen)
 	if err != nil {
 		return err
+	}
+	if *engineMode {
+		if *serve != "" {
+			return fmt.Errorf("-serve requires the legacy receiver (drop -engine)")
+		}
+		return runRecvEngine(addr, *shards, *idle, *maxFlows, *quiet)
 	}
 	conn, err := listenUDPRetry(addr)
 	if err != nil {
@@ -170,7 +201,52 @@ func runRecv(args []string) error {
 	}
 }
 
-// runSend drives one congestion-controlled flow at the given address,
+// runRecvEngine is the sharded receive path: one engine, shard i on
+// listen-port+i, all incoming flows multiplexed onto the shard loops.
+func runRecvEngine(addr *net.UDPAddr, shards int, idle float64, maxFlows int, quiet bool) error {
+	ip := "0.0.0.0"
+	if addr.IP != nil {
+		ip = addr.IP.String()
+	}
+	eng, err := engine.New(engine.Config{
+		Shards: shards, ListenIP: ip, ListenPort: addr.Port,
+		IdleTimeout: idle, MaxFlowsPerShard: maxFlows,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Stop()
+	if err := eng.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("proteusd recv: engine listening on %v\n", eng.Addrs())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	var last engine.Stats
+	for {
+		select {
+		case <-sig:
+			st := eng.Stats()
+			fmt.Printf("total: pkts=%d bytes=%d dups=%d acks=%d flows=%d evicted=%d rebinds=%d bad=%d batches=%d\n",
+				st.Delivered, st.DeliveredBytes, st.RxDups, st.TxPkts, st.Flows,
+				st.Evicted, st.Rebinds, st.BadPkts, st.RxBatches)
+			return nil
+		case <-tick.C:
+			st := eng.Stats()
+			if !quiet && st.RxPkts != last.RxPkts {
+				fmt.Printf("rx %7.3f Mbps  pkts=%d dups=%d flows=%d batches=%d\n",
+					float64(st.DeliveredBytes-last.DeliveredBytes)*8/1e6,
+					st.Delivered, st.RxDups, st.Flows, st.RxBatches)
+			}
+			last = st
+		}
+	}
+}
+
+// runSend drives congestion-controlled flows at the given address,
 // optionally through an in-process impairment shim, and prints a
 // per-second line of send-side counters.
 func runSend(args []string) error {
@@ -181,6 +257,11 @@ func runSend(args []string) error {
 	seed := fs.Int64("seed", 1, "controller RNG seed")
 	quiet := fs.Bool("quiet", false, "suppress per-second stats")
 	drain := fs.Duration("drain", 2*time.Second, "on SIGINT/SIGTERM, wait up to this long for in-flight packets to be acked before exiting")
+	flows := fs.Int("flows", 1, "concurrent flows (each with its own controller)")
+	maxFlows := fs.Int("max-flows", 4096, "refuse to start more than this many flows (checked before any flow is spawned)")
+	engineMode := fs.Bool("engine", false, "run flows on the sharded event-loop engine instead of one goroutine pair per flow")
+	shards := fs.Int("shards", 2, "engine shards (with -engine; -shim forces 1, the shim tracks a single return socket)")
+	bind := fs.String("bind", "127.0.0.1", "engine shard bind IP (with -engine)")
 	shimFlags := newShimFlags(fs)
 	fs.Parse(args)
 
@@ -204,24 +285,46 @@ func runSend(args []string) error {
 		}()
 		dst = shim.Addr()
 		fmt.Printf("proteusd send: shim %s at %s\n", shimFlags.describe(), dst)
+		if *engineMode && *shards != 1 {
+			*shards = 1
+		}
+	}
+	newCC := func(i int) transport.Controller {
+		rng := rand.New(rand.NewSource(wire.MixSeed(*seed, 0x55+int64(i))))
+		return exp.NewControllerRNG(rng, *proto)
+	}
+	if *engineMode {
+		return runSendEngine(dst, *proto, *flows, *maxFlows, *shards, *bind, *duration, *quiet, newCC)
 	}
 
-	conn, err := dialUDPRetry(dst)
+	// Legacy path: one socket and one goroutine pair per flow — the
+	// datapath the engine replaces at scale, kept for comparison and
+	// for single-flow runs.
+	senders := make([]*wire.Sender, 0, *flows)
+	defer func() {
+		for _, s := range senders {
+			s.Stop()
+		}
+	}()
+	err = startFlows(*flows, *maxFlows, func(i int) error {
+		conn, err := dialUDPRetry(dst)
+		if err != nil {
+			return err
+		}
+		conn.SetReadBuffer(1 << 21)
+		conn.SetWriteBuffer(1 << 21)
+		snd := &wire.Sender{CC: newCC(i), Conn: conn}
+		if err := snd.Start(); err != nil {
+			conn.Close()
+			return err
+		}
+		senders = append(senders, snd)
+		return nil
+	})
 	if err != nil {
 		return err
 	}
-	conn.SetReadBuffer(1 << 21)
-	conn.SetWriteBuffer(1 << 21)
-	rng := rand.New(rand.NewSource(wire.MixSeed(*seed, 0x55)))
-	snd := &wire.Sender{
-		CC:   exp.NewControllerRNG(rng, *proto),
-		Conn: conn,
-	}
-	if err := snd.Start(); err != nil {
-		return err
-	}
-	defer snd.Stop()
-	fmt.Printf("proteusd send: %s -> %s\n", *proto, *to)
+	fmt.Printf("proteusd send: %s ×%d -> %s\n", *proto, *flows, *to)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -232,11 +335,11 @@ func runSend(args []string) error {
 	for {
 		select {
 		case <-sig:
-			gracefulDrain(snd, sig, *drain)
-			printSendTotal(snd.Stats())
+			gracefulDrain(senders, sig, *drain)
+			printSendTotal(sumSendStats(senders))
 			return nil
 		case <-tick.C:
-			st := snd.Stats()
+			st := sumSendStats(senders)
 			if !*quiet {
 				fmt.Printf("tx %7.3f Mbps  rate=%6.2f srtt=%5.1fms inflight=%d lost=%d\n",
 					float64(st.AckedBytes-last.AckedBytes)*8/1e6,
@@ -244,24 +347,135 @@ func runSend(args []string) error {
 			}
 			last = st
 			if *duration > 0 && !time.Now().Before(deadline) {
-				gracefulDrain(snd, sig, *drain)
-				printSendTotal(snd.Stats())
+				gracefulDrain(senders, sig, *drain)
+				printSendTotal(sumSendStats(senders))
 				return nil
 			}
 		}
 	}
 }
 
-// gracefulDrain waits for the sender's in-flight packets to be acked
-// (bounded by timeout) so shutdown doesn't strand a window of data. A
-// second signal aborts the wait immediately.
-func gracefulDrain(snd *wire.Sender, sig chan os.Signal, timeout time.Duration) {
-	if timeout <= 0 || snd.Stats().Inflight == 0 {
+// sumSendStats aggregates legacy senders: counters add up, rate and
+// RTT report the across-flow mean.
+func sumSendStats(snds []*wire.Sender) wire.SenderStats {
+	var out wire.SenderStats
+	for _, s := range snds {
+		st := s.Stats()
+		out.SentPkts += st.SentPkts
+		out.AckedPkts += st.AckedPkts
+		out.LostPkts += st.LostPkts
+		out.AckedBytes += st.AckedBytes
+		out.Inflight += st.Inflight
+		out.RateMbps += st.RateMbps
+		out.SRTT += st.SRTT
+		out.MinRTT += st.MinRTT
+	}
+	if n := float64(len(snds)); n > 1 {
+		out.SRTT /= n
+		out.MinRTT /= n
+	}
+	return out
+}
+
+// runSendEngine runs the flows on the sharded engine: a fixed set of
+// event loops, batched socket I/O, no per-flow goroutines.
+func runSendEngine(dst *net.UDPAddr, proto string, flows, maxFlows, shards int, bind string,
+	duration float64, quiet bool, newCC func(i int) transport.Controller) error {
+	perShard := 0
+	if maxFlows > 0 {
+		perShard = (maxFlows + shards - 1) / shards
+	}
+	eng, err := engine.New(engine.Config{
+		Shards: shards, ListenIP: bind, MaxFlowsPerShard: perShard,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Stop()
+	if err := eng.Start(); err != nil {
+		return err
+	}
+	dstAP := dst.AddrPort()
+	handles := make([]*engine.Flow, 0, flows)
+	err = startFlows(flows, maxFlows, func(i int) error {
+		fl, err := eng.AddFlow(engine.FlowConfig{Dst: dstAP, CC: newCC(i)})
+		if err == nil {
+			handles = append(handles, fl)
+		}
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("proteusd send: engine %s ×%d (%d shards) -> %s\n", proto, flows, shards, dst)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	deadline := time.Now().Add(time.Duration(duration * float64(time.Second)))
+	var lastAcked int64
+	total := func() (acked, lost int64, srtt float64) {
+		for _, fl := range handles {
+			st := fl.Stats()
+			acked += st.AckedBytes
+			lost += st.LostPkts
+			srtt += st.SRTT
+		}
+		srtt /= float64(len(handles))
 		return
 	}
-	fmt.Printf("proteusd send: draining %d in-flight bytes (signal again to abort)\n", snd.Stats().Inflight)
+	for {
+		select {
+		case <-sig:
+		case <-tick.C:
+			acked, lost, srtt := total()
+			if !quiet {
+				est := eng.Stats()
+				fmt.Printf("tx %7.3f Mbps  srtt=%5.1fms lost=%d pkts=%d batches=%d\n",
+					float64(acked-lastAcked)*8/1e6, srtt*1e3, lost, est.TxPkts, est.TxBatches)
+			}
+			lastAcked = acked
+			if duration <= 0 || time.Now().Before(deadline) {
+				continue
+			}
+		}
+		acked, lost, srtt := total()
+		est := eng.Stats()
+		fmt.Printf("total: acked=%d bytes lost=%d srtt=%.1fms txpkts=%d txbatches=%d rxbatches=%d\n",
+			acked, lost, srtt*1e3, est.TxPkts, est.TxBatches, est.RxBatches)
+		return nil
+	}
+}
+
+// gracefulDrain waits for the senders' in-flight packets to be acked
+// (bounded by timeout) so shutdown doesn't strand a window of data. A
+// second signal aborts the wait immediately.
+func gracefulDrain(snds []*wire.Sender, sig chan os.Signal, timeout time.Duration) {
+	inflight := 0
+	for _, s := range snds {
+		inflight += s.Stats().Inflight
+	}
+	if timeout <= 0 || inflight == 0 {
+		return
+	}
+	fmt.Printf("proteusd send: draining %d in-flight bytes (signal again to abort)\n", inflight)
 	done := make(chan bool, 1)
-	go func() { done <- snd.Drain(timeout) }()
+	go func() {
+		var timedOut atomic.Bool
+		var wg sync.WaitGroup
+		for _, s := range snds {
+			wg.Add(1)
+			go func(s *wire.Sender) {
+				defer wg.Done()
+				if !s.Drain(timeout) {
+					timedOut.Store(true)
+				}
+			}(s)
+		}
+		wg.Wait()
+		done <- !timedOut.Load()
+	}()
 	select {
 	case ok := <-done:
 		if !ok {

@@ -1,0 +1,47 @@
+//go:build !linux || !(amd64 || arm64)
+
+package engine
+
+import (
+	"net/netip"
+	"time"
+)
+
+// mmsgState is empty on the portable fallback: no batch syscalls, so
+// no mmsghdr/iovec staging to keep.
+type mmsgState struct{}
+
+func (sh *shard) initBatch() {}
+
+// readBatch on the fallback reads exactly one datagram per call with
+// the ordinary blocking read — the portable half of the batch-I/O
+// matrix. Returns the number of datagrams staged (0 on timeout, so
+// the event loop runs its timers), or -1 when the socket is closed.
+func (sh *shard) readBatch(deadline time.Time) int {
+	sh.conn.SetReadDeadline(deadline)
+	n, src, err := sh.conn.ReadFromUDPAddrPort(sh.rxBufs[0])
+	if err != nil {
+		if isTimeout(err) {
+			return 0
+		}
+		if isClosed(err) {
+			return -1
+		}
+		// Transient errors (ICMP unreachable bursts) must not kill the
+		// shard; yield briefly and let the loop continue.
+		time.Sleep(time.Millisecond)
+		return 0
+	}
+	sh.rxLens[0] = n
+	sh.rxSrcs[0] = netip.AddrPortFrom(src.Addr().Unmap(), src.Port())
+	return 1
+}
+
+// writeBatch on the fallback is a plain write loop; datagrams that
+// fail to send are dropped, exactly as a full socket buffer drops
+// them on the batched path.
+func (sh *shard) writeBatch(pkts [][]byte, addrs []netip.AddrPort) {
+	for i, p := range pkts {
+		sh.conn.WriteToUDPAddrPort(p, addrs[i])
+	}
+}

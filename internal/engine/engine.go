@@ -1,0 +1,297 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"pccproteus/internal/netem"
+	"pccproteus/internal/transport"
+	"pccproteus/internal/wire"
+)
+
+// Config sizes an Engine. The zero value is usable: one shard, batch
+// of 32, 2KiB packets.
+type Config struct {
+	// Shards is the number of event loops (and sockets). Default 1.
+	Shards int
+	// BatchSize is the number of datagrams staged per socket syscall
+	// (recvmmsg/sendmmsg on Linux). Default 32.
+	BatchSize int
+	// MaxPacket is the largest datagram the engine sends or receives.
+	// Default 2048; must cover every flow's PacketSize and MaxAckLen.
+	MaxPacket int
+	// MaxFlowsPerShard caps each shard's flow table; receiver-side
+	// flows beyond it evict the stalest. Default 16384.
+	MaxFlowsPerShard int
+	// IdleTimeout evicts idle flows after this many seconds.
+	// Default 60.
+	IdleTimeout float64
+	// ListenIP is the bind address for shard sockets ("127.0.0.1"
+	// default). Each shard takes its own ephemeral port.
+	ListenIP string
+	// ListenPort, when nonzero, binds shard i to ListenPort+i instead
+	// of an ephemeral port — for daemons that must advertise their
+	// shard addresses up front.
+	ListenPort int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.MaxPacket <= 0 {
+		c.MaxPacket = 2048
+	}
+	if c.MaxPacket < wire.MaxAckLen {
+		c.MaxPacket = wire.MaxAckLen
+	}
+	if c.MaxFlowsPerShard <= 0 {
+		c.MaxFlowsPerShard = 1 << 14
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 60
+	}
+	if c.ListenIP == "" {
+		c.ListenIP = "127.0.0.1"
+	}
+	return c
+}
+
+// FlowConfig describes one sender flow.
+type FlowConfig struct {
+	// Dst is the peer (an engine shard or a legacy receiver — both
+	// speak the version-2 ack exchange).
+	Dst netip.AddrPort
+	// CC is the flow's congestion controller. Each flow needs its own
+	// instance: callbacks run on the owning shard's goroutine.
+	CC transport.Controller
+	// Limit bounds the transfer in bytes (lost bytes re-credited);
+	// zero streams until Stop.
+	Limit int64
+	// PacketSize is the on-wire datagram size (default netem.MTU,
+	// clamped to the engine's MaxPacket).
+	PacketSize int
+	// Burst is the pacing-train length (default transport.DefaultBurst).
+	Burst int
+	// RecordRTT keeps every per-ack RTT sample for Flow.RTTSamples —
+	// measurement harnesses only; leave off on production flows.
+	RecordRTT bool
+}
+
+// Flow is the cross-goroutine handle for one sender flow.
+type Flow struct {
+	id  uint32
+	dst netip.AddrPort
+	s   *senderFlow
+}
+
+// ID returns the engine-assigned wire flow ID (nonzero).
+func (fl *Flow) ID() uint32 { return fl.id }
+
+// Done is closed once a finite transfer is fully acked.
+func (fl *Flow) Done() <-chan struct{} { return fl.s.done }
+
+// FlowStats is a point-in-time snapshot of one flow's counters.
+type FlowStats struct {
+	SentPkts   int64
+	SentBytes  int64
+	AckedPkts  int64
+	AckedBytes int64
+	LostPkts   int64
+	LostBytes  int64
+	SRTT       float64
+}
+
+// RTTSamples returns a copy of the per-ack RTT samples recorded so
+// far (seconds); always empty unless the flow was added with
+// RecordRTT. Safe to call while the flow runs.
+func (fl *Flow) RTTSamples() []float64 {
+	fl.s.rttMu.Lock()
+	defer fl.s.rttMu.Unlock()
+	return append([]float64(nil), fl.s.rttSamples...)
+}
+
+// Stats snapshots the flow's counters (safe while the flow runs).
+func (fl *Flow) Stats() FlowStats {
+	return FlowStats{
+		SentPkts: fl.s.sentPkts.Load(), SentBytes: fl.s.sentBytes.Load(),
+		AckedPkts: fl.s.ackedPkts.Load(), AckedBytes: fl.s.ackedBytes.Load(),
+		LostPkts: fl.s.lostPkts.Load(), LostBytes: fl.s.lostBytes.Load(),
+		SRTT: float64(fl.s.srttNanos.Load()) / 1e9,
+	}
+}
+
+// Stats aggregates every shard's counters.
+type Stats struct {
+	RxPkts         int64 // valid datagrams dispatched to flows
+	RxBatches      int64
+	RxDups         int64
+	TxPkts         int64
+	TxBatches      int64
+	BadPkts        int64
+	BadAcks        int64
+	Evicted        int64
+	Rebinds        int64 // (addr,flowID) collisions reset as new flows
+	Delivered      int64 // distinct data packets received
+	DeliveredBytes int64
+	Flows          int
+}
+
+// Engine runs wire flows on a fixed set of shard event loops. Create
+// with New, Start it, add flows, Stop when done.
+type Engine struct {
+	cfg     Config
+	clock   wire.Clock
+	shards  []*shard
+	nextID  atomic.Uint32
+	rr      atomic.Uint32
+	senders atomic.Int64 // admitted sender flows, for the AddFlow cap
+	done    chan struct{}
+
+	started  bool
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New opens one socket per shard and builds the engine.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	ip := net.ParseIP(cfg.ListenIP)
+	if ip == nil {
+		return nil, fmt.Errorf("engine: bad listen IP %q", cfg.ListenIP)
+	}
+	e := &Engine{cfg: cfg, clock: wire.NewClock(), done: make(chan struct{})}
+	for i := 0; i < cfg.Shards; i++ {
+		port := 0
+		if cfg.ListenPort != 0 {
+			port = cfg.ListenPort + i
+		}
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: ip, Port: port})
+		if err != nil {
+			for _, sh := range e.shards {
+				sh.conn.Close()
+			}
+			return nil, err
+		}
+		// As large as default net.core.{r,w}mem_max allow: at engine
+		// rates a shard can be heads-down in timer work for a full
+		// batch's duration, and skb overhead (~2× truesize for small
+		// datagrams) halves the effective packet capacity.
+		conn.SetReadBuffer(1 << 22)
+		conn.SetWriteBuffer(1 << 22)
+		e.shards = append(e.shards, newShard(e, i, conn))
+	}
+	return e, nil
+}
+
+// Start launches the shard loops.
+func (e *Engine) Start() error {
+	if e.started {
+		return errors.New("engine: already started")
+	}
+	e.started = true
+	for _, sh := range e.shards {
+		e.wg.Add(1)
+		go sh.loop()
+	}
+	return nil
+}
+
+// Stop terminates every shard loop and closes the sockets. Safe to
+// call more than once.
+func (e *Engine) Stop() {
+	e.stopOnce.Do(func() {
+		close(e.done)
+		for _, sh := range e.shards {
+			sh.conn.Close()
+		}
+	})
+	e.wg.Wait()
+}
+
+// Addrs returns each shard's listening address. Flows land on the
+// shard whose socket receives their packets, so a peer engine spreads
+// its flows across these.
+func (e *Engine) Addrs() []netip.AddrPort {
+	out := make([]netip.AddrPort, len(e.shards))
+	for i, sh := range e.shards {
+		out[i] = sh.local
+	}
+	return out
+}
+
+// AddFlow admits one sender flow, assigning it a unique nonzero flow
+// ID and a shard (round-robin). The flow starts sending within one
+// shard wake (≤1ms).
+func (e *Engine) AddFlow(fc FlowConfig) (*Flow, error) {
+	if !e.started {
+		return nil, errors.New("engine: AddFlow before Start")
+	}
+	if fc.CC == nil {
+		return nil, errors.New("engine: flow needs a controller")
+	}
+	if !fc.Dst.IsValid() {
+		return nil, errors.New("engine: flow needs a destination")
+	}
+	if fc.PacketSize <= 0 {
+		fc.PacketSize = netem.MTU
+	}
+	if fc.PacketSize < wire.DataHeaderLenV2 {
+		return nil, errors.New("engine: packet size below header size")
+	}
+	if fc.PacketSize > e.cfg.MaxPacket {
+		return nil, fmt.Errorf("engine: packet size %d exceeds MaxPacket %d",
+			fc.PacketSize, e.cfg.MaxPacket)
+	}
+	if fc.Burst <= 0 {
+		fc.Burst = transport.DefaultBurst
+	}
+	// Admission control happens here, before the flow touches a shard:
+	// a rejected flow must cost nothing.
+	cap := int64(e.cfg.Shards) * int64(e.cfg.MaxFlowsPerShard)
+	if e.senders.Add(1) > cap {
+		e.senders.Add(-1)
+		return nil, fmt.Errorf("engine: flow cap %d reached", cap)
+	}
+	id := e.nextID.Add(1)
+	s := &senderFlow{
+		cc: fc.CC, limit: fc.Limit, burst: fc.Burst,
+		packetSize: fc.PacketSize, done: make(chan struct{}),
+		recordRTT: fc.RecordRTT,
+	}
+	s.pacer.Cap = float64(2 * fc.Burst * fc.PacketSize)
+	sh := e.shards[int(e.rr.Add(1)-1)%len(e.shards)]
+	f := &flow{
+		key: flowKey{addr: netip.AddrPortFrom(fc.Dst.Addr().Unmap(), fc.Dst.Port()), id: id},
+		snd: s,
+	}
+	sh.enqueue(f)
+	return &Flow{id: id, dst: fc.Dst, s: s}, nil
+}
+
+// Stats aggregates all shards.
+func (e *Engine) Stats() Stats {
+	var st Stats
+	for _, sh := range e.shards {
+		st.RxPkts += sh.ctr.rxPkts.Load()
+		st.RxBatches += sh.ctr.rxBatches.Load()
+		st.RxDups += sh.ctr.rxDups.Load()
+		st.TxPkts += sh.ctr.txPkts.Load()
+		st.TxBatches += sh.ctr.txBatches.Load()
+		st.BadPkts += sh.ctr.bad.Load()
+		st.BadAcks += sh.ctr.badAcks.Load()
+		st.Evicted += sh.ctr.evicted.Load()
+		st.Rebinds += sh.ctr.rebinds.Load()
+		st.Delivered += sh.ctr.delivered.Load()
+		st.DeliveredBytes += sh.ctr.deliveredBytes.Load()
+		st.Flows += int(sh.flowGauge.Load())
+	}
+	return st
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled lets tests scale themselves down under the race
+// detector, whose memory overhead makes a 10k-flow soak impractical.
+const raceEnabled = true

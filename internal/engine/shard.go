@@ -1,0 +1,367 @@
+package engine
+
+import (
+	"math"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pccproteus/internal/wire"
+)
+
+// maxLoopSleep bounds how long a shard blocks in the socket read when
+// the wheel is idle, so admissions, shutdown, and the idle sweep are
+// observed promptly — the event-loop analog of the legacy sender's
+// maxSleep ack-poll cadence.
+const maxLoopSleep = time.Millisecond
+
+// shardCounters is the shard's atomic stats surface; everything else
+// in shard is owned by the loop goroutine.
+type shardCounters struct {
+	rxPkts         atomic.Int64 // valid datagrams dispatched
+	rxBatches      atomic.Int64 // socket read syscalls that returned data
+	rxDups         atomic.Int64
+	txPkts         atomic.Int64
+	txBatches      atomic.Int64 // socket write flushes
+	bad            atomic.Int64 // datagrams the codecs rejected
+	badAcks        atomic.Int64 // acks with no matching sender flow
+	evicted        atomic.Int64
+	rebinds        atomic.Int64 // reused (addr,flowID) collisions reset
+	delivered      atomic.Int64 // distinct data packets received
+	deliveredBytes atomic.Int64
+}
+
+// shard is one event loop: one socket, one flow table, one pacing
+// wheel, one goroutine. Flows never move between shards, so no flow
+// state is ever locked — only the admission queue and the atomic
+// counters cross goroutines.
+type shard struct {
+	eng   *Engine
+	idx   int
+	conn  *net.UDPConn
+	clock wire.Clock
+	local netip.AddrPort
+	v6    bool
+
+	flows map[flowKey]*flow
+	wh    wheel
+
+	maxPacket int
+	batchSize int
+	maxFlows  int
+	idleTO    float64
+
+	// rx staging, filled by the arch-specific readBatch. rxSegs[i], when
+	// nonzero, is the GRO segment size of a kernel-coalesced buffer that
+	// dispatch slices back into datagrams; always zero on the fallback.
+	rxBufs [][]byte
+	rxLens []int
+	rxSrcs []netip.AddrPort
+	rxSegs []int
+	mmsg   mmsgState // per-arch batch-syscall state (empty struct on fallback)
+
+	// tx staging: packets queued by flows, flushed in one batched
+	// write; buffers recycle through txFree, so the steady-state path
+	// allocates nothing.
+	txq     [][]byte
+	txAddrs []netip.AddrPort
+	txFree  [][]byte
+
+	ackScratch wire.AckPacket // encode scratch for receiver flows
+	ackDecode  wire.AckPacket // decode scratch for sender dispatch
+
+	admitMu sync.Mutex
+	admitQ  []*flow
+
+	// fireFn is the wheel-fire callback, bound once so advance() runs
+	// without a per-wake closure allocation; fireNow carries the wake
+	// timestamp into it.
+	fireNow float64
+	fireFn  func(*flow)
+
+	lastSweep float64
+	flowGauge atomic.Int64
+
+	ctr shardCounters
+}
+
+func newShard(eng *Engine, idx int, conn *net.UDPConn) *shard {
+	cfg := eng.cfg
+	sh := &shard{
+		eng: eng, idx: idx, conn: conn, clock: eng.clock,
+		flows:     make(map[flowKey]*flow),
+		maxPacket: cfg.MaxPacket,
+		batchSize: cfg.BatchSize,
+		maxFlows:  cfg.MaxFlowsPerShard,
+		idleTO:    cfg.IdleTimeout,
+		rxBufs:    make([][]byte, cfg.BatchSize),
+		rxLens:    make([]int, cfg.BatchSize),
+		rxSrcs:    make([]netip.AddrPort, cfg.BatchSize),
+		rxSegs:    make([]int, cfg.BatchSize),
+		txq:       make([][]byte, 0, cfg.BatchSize),
+		txAddrs:   make([]netip.AddrPort, 0, cfg.BatchSize),
+	}
+	for i := range sh.rxBufs {
+		sh.rxBufs[i] = make([]byte, cfg.MaxPacket)
+	}
+	sh.fireFn = func(f *flow) { sh.service(f, sh.fireNow) }
+	if conn != nil {
+		ua := conn.LocalAddr().(*net.UDPAddr)
+		sh.local = ua.AddrPort()
+		sh.v6 = ua.IP.To4() == nil
+		sh.initBatch()
+	}
+	return sh
+}
+
+// loop is the shard event loop: admit → fire due timers → flush tx →
+// block in a batched read until the next deadline → dispatch → flush.
+func (sh *shard) loop() {
+	defer sh.eng.wg.Done()
+	sh.wh.init(sh.clock.Now())
+	for {
+		select {
+		case <-sh.eng.done:
+			return
+		default:
+		}
+		sh.admit()
+		now := sh.clock.Now()
+		sh.fireNow = now
+		sh.wh.advance(now, sh.fireFn)
+		sh.sweep(now)
+		sh.flushTx()
+
+		dur := maxLoopSleep
+		if next := sh.wh.next(); !math.IsInf(next, 1) {
+			d := next - sh.clock.Now()
+			if d < 0 {
+				d = 0
+			}
+			if dd := time.Duration(d * float64(time.Second)); dd < dur {
+				dur = dd
+			}
+		}
+		n := sh.readBatch(time.Now().Add(dur))
+		if n < 0 {
+			return // socket closed
+		}
+		if n > 0 {
+			sh.ctr.rxBatches.Add(1)
+			now = sh.clock.Now()
+			for i := 0; i < n; i++ {
+				b := sh.rxBufs[i][:sh.rxLens[i]]
+				if g := sh.rxSegs[i]; g > 0 && g < len(b) {
+					// GRO-coalesced buffer: slice it back into the
+					// original datagrams (the last may be shorter).
+					for off := 0; off < len(b); off += g {
+						end := off + g
+						if end > len(b) {
+							end = len(b)
+						}
+						sh.dispatch(sh.rxSrcs[i], b[off:end], now)
+					}
+				} else {
+					sh.dispatch(sh.rxSrcs[i], b, now)
+				}
+			}
+			sh.flushTx()
+		}
+	}
+}
+
+// dispatch routes one datagram through the flow table.
+func (sh *shard) dispatch(src netip.AddrPort, b []byte, now float64) {
+	switch wire.PacketType(b) {
+	case 'P':
+		h, err := wire.DecodeData(b)
+		if err != nil {
+			sh.ctr.bad.Add(1)
+			return
+		}
+		key := flowKey{addr: src, id: h.Flow}
+		f := sh.flows[key]
+		if f == nil {
+			f = sh.newRecvFlow(key, now)
+		}
+		if f.rcv == nil {
+			sh.ctr.bad.Add(1) // data aimed at one of our sender keys
+			return
+		}
+		sh.ctr.rxPkts.Add(1)
+		f.lastSeen = now
+		f.rcv.onData(sh, f, h, len(b), now)
+	case 'A':
+		a := &sh.ackDecode
+		if err := wire.DecodeAck(b, a); err != nil {
+			sh.ctr.bad.Add(1)
+			return
+		}
+		f := sh.flows[flowKey{addr: src, id: a.Flow}]
+		if f == nil || f.snd == nil {
+			sh.ctr.badAcks.Add(1)
+			return
+		}
+		sh.ctr.rxPkts.Add(1)
+		f.lastSeen = now
+		f.snd.onAck(sh, f, a, now)
+		// The ack may have freed window or completed a loss episode:
+		// service immediately instead of waiting out the armed deadline.
+		sh.service(f, now)
+	default:
+		sh.ctr.bad.Add(1)
+	}
+}
+
+// service pumps a sender flow and re-arms its next deadline. For a
+// receiver flow it is the delayed-ack timer: flush whatever ack state
+// coalescing has deferred.
+func (sh *shard) service(f *flow, now float64) {
+	if f.snd == nil {
+		if f.rcv != nil && f.rcv.unacked > 0 {
+			f.rcv.emitAck(sh, f)
+		}
+		return
+	}
+	if next := f.snd.pump(sh, f, now); next > 0 {
+		sh.wh.arm(f, next)
+	} else if f.armed {
+		f.armed = false
+		sh.wh.armed--
+	}
+}
+
+// newRecvFlow admits an unknown (addr, flowID) as a receiver flow,
+// evicting the stalest receiver flow at the cap — sender flows are
+// never evicted for table pressure.
+func (sh *shard) newRecvFlow(key flowKey, now float64) *flow {
+	if len(sh.flows) >= sh.maxFlows {
+		var oldKey flowKey
+		var old *flow
+		oldest := now + 1
+		for k, f := range sh.flows {
+			if f.rcv != nil && f.lastSeen < oldest {
+				oldest = f.lastSeen
+				oldKey, old = k, f
+			}
+		}
+		if old != nil {
+			sh.dropFlow(oldKey, old)
+			sh.ctr.evicted.Add(1)
+		}
+	}
+	f := &flow{key: key, rcv: &recvFlow{highest: -1}}
+	sh.flows[key] = f
+	sh.flowGauge.Store(int64(len(sh.flows)))
+	return f
+}
+
+// sweep evicts idle flows, at most once per second. Sender flows are
+// reclaimed only once completed (or abandoned) and idle; receiver
+// flows on the idle deadline alone, like the legacy Receiver.
+func (sh *shard) sweep(now float64) {
+	if now-sh.lastSweep < 1 {
+		return
+	}
+	sh.lastSweep = now
+	for k, f := range sh.flows {
+		if now-f.lastSeen <= sh.idleTO {
+			continue
+		}
+		if f.snd != nil && !f.snd.completed && f.snd.limit > 0 {
+			continue // a stalled finite sender keeps retrying by RTO
+		}
+		sh.dropFlow(k, f)
+		sh.ctr.evicted.Add(1)
+	}
+}
+
+func (sh *shard) dropFlow(key flowKey, f *flow) {
+	if f.armed {
+		f.armed = false
+		sh.wh.armed--
+	}
+	f.gen++ // lazily cancels any queued wheel entry
+	delete(sh.flows, key)
+	sh.flowGauge.Store(int64(len(sh.flows)))
+	if f.snd != nil {
+		sh.eng.senders.Add(-1) // release the AddFlow admission slot
+	}
+}
+
+// admit drains the cross-goroutine admission queue and gives each new
+// flow its first service.
+func (sh *shard) admit() {
+	sh.admitMu.Lock()
+	if len(sh.admitQ) == 0 {
+		sh.admitMu.Unlock()
+		return
+	}
+	q := sh.admitQ
+	sh.admitQ = nil
+	sh.admitMu.Unlock()
+	now := sh.clock.Now()
+	for _, f := range q {
+		sh.flows[f.key] = f
+		f.lastSeen = now
+		sh.service(f, now)
+	}
+	sh.flowGauge.Store(int64(len(sh.flows)))
+}
+
+// enqueue hands a flow to the shard; the loop admits it within one
+// wake (bounded by maxLoopSleep).
+func (sh *shard) enqueue(f *flow) {
+	sh.admitMu.Lock()
+	sh.admitQ = append(sh.admitQ, f)
+	sh.admitMu.Unlock()
+}
+
+// txBuf returns a maxPacket-sized scratch buffer for one outgoing
+// packet; recycled by flushTx, so steady state never allocates.
+func (sh *shard) txBuf() []byte {
+	if n := len(sh.txFree); n > 0 {
+		b := sh.txFree[n-1]
+		sh.txFree[n-1] = nil
+		sh.txFree = sh.txFree[:n-1]
+		return b
+	}
+	return make([]byte, sh.maxPacket)
+}
+
+// queueTx stages one encoded packet (a prefix of a txBuf buffer) for
+// the next batched write, flushing when a full batch is staged.
+func (sh *shard) queueTx(pkt []byte, dst netip.AddrPort) {
+	sh.txq = append(sh.txq, pkt)
+	sh.txAddrs = append(sh.txAddrs, dst)
+	if len(sh.txq) >= sh.batchSize {
+		sh.flushTx()
+	}
+}
+
+// flushTx writes every staged packet (one sendmmsg on Linux, a write
+// loop on the fallback) and recycles the buffers.
+func (sh *shard) flushTx() {
+	if len(sh.txq) == 0 {
+		return
+	}
+	if sh.conn != nil {
+		sh.writeBatch(sh.txq, sh.txAddrs)
+		sh.ctr.txPkts.Add(int64(len(sh.txq)))
+		sh.ctr.txBatches.Add(1)
+	}
+	sh.recycleTx()
+}
+
+// recycleTx returns every staged buffer to the freelist without
+// writing; the socketless bench harness uses it directly.
+func (sh *shard) recycleTx() {
+	for i, p := range sh.txq {
+		sh.txFree = append(sh.txFree, p[0:sh.maxPacket:sh.maxPacket])
+		sh.txq[i] = nil
+	}
+	sh.txq = sh.txq[:0]
+	sh.txAddrs = sh.txAddrs[:0]
+}

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package engine
+
+// The stdlib syscall table on amd64 predates sendmmsg, so the numbers
+// are pinned here (x86_64 syscall table: recvmmsg 299, sendmmsg 307).
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

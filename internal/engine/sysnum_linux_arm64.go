@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package engine
+
+// arm64 syscall table: recvmmsg 243, sendmmsg 269.
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
 	"strings"
+	"time"
 
+	"pccproteus/internal/engine"
 	"pccproteus/internal/sim"
 	"pccproteus/internal/stats"
 	"pccproteus/internal/transport"
@@ -25,6 +28,11 @@ type WireParityOptions struct {
 	MeasureFrom  float64  // default 0.4 × Duration
 	Seed         int64    // master seed (0 = 1)
 	TolerancePct float64  // throughput parity tolerance (default 15)
+	// Engine runs the wire half on the sharded event-loop datapath
+	// (internal/engine) instead of the legacy per-flow-goroutine path —
+	// same controllers, same shim bottleneck, so the parity gate
+	// cross-validates the engine datapath against the simulator.
+	Engine bool
 }
 
 func (o *WireParityOptions) defaults() {
@@ -93,41 +101,110 @@ func WireParity(o WireParityOptions) (*WireParityResult, error) {
 		seed := o.Seed + int64(i)
 		simMbps, simMean, simP95, simLoss := wireParitySim(seed, o, proto)
 
-		lb, err := wire.RunLoopback(wire.LoopbackConfig{
-			NewController: func() transport.Controller {
-				return NewControllerRNG(rand.New(rand.NewSource(wire.MixSeed(seed, 0x55))), proto)
-			},
-			Shim: wire.ShimConfig{
-				RateMbps:   o.Mbps,
-				QueueBytes: o.QueueBytes,
-				Delay:      o.RTT / 2,
-				AckDelay:   o.RTT / 2,
-				Seed:       wire.MixSeed(seed, 0x77),
-			},
-			Duration:    o.Duration,
-			MeasureFrom: o.MeasureFrom,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("wire run %s: %w", proto, err)
-		}
-		wireLoss := 0.0
-		if tot := lb.Sender.AckedBytes + lb.Sender.LostBytes; tot > 0 {
-			wireLoss = float64(lb.Sender.LostBytes) / float64(tot)
+		var wMbps, wMean, wP95, wLoss float64
+		if o.Engine {
+			var err error
+			wMbps, wMean, wP95, wLoss, err = wireParityEngine(seed, o, proto)
+			if err != nil {
+				return nil, fmt.Errorf("engine wire run %s: %w", proto, err)
+			}
+		} else {
+			lb, err := wire.RunLoopback(wire.LoopbackConfig{
+				NewController: func() transport.Controller {
+					return NewControllerRNG(rand.New(rand.NewSource(wire.MixSeed(seed, 0x55))), proto)
+				},
+				Shim:        parityShim(seed, o),
+				Duration:    o.Duration,
+				MeasureFrom: o.MeasureFrom,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("wire run %s: %w", proto, err)
+			}
+			wMbps, wMean, wP95 = lb.Mbps, lb.MeanRTT, lb.P95RTT
+			if tot := lb.Sender.AckedBytes + lb.Sender.LostBytes; tot > 0 {
+				wLoss = float64(lb.Sender.LostBytes) / float64(tot)
+			}
 		}
 		row := WireParityRow{
 			Proto:   proto,
-			SimMbps: simMbps, WireMbps: lb.Mbps,
-			SimMeanRTT: simMean, WireMeanRTT: lb.MeanRTT,
-			SimP95RTT: simP95, WireP95RTT: lb.P95RTT,
-			SimLoss: simLoss, WireLoss: wireLoss,
+			SimMbps: simMbps, WireMbps: wMbps,
+			SimMeanRTT: simMean, WireMeanRTT: wMean,
+			SimP95RTT: simP95, WireP95RTT: wP95,
+			SimLoss: simLoss, WireLoss: wLoss,
 		}
 		if simMbps > 0 {
-			row.TputErrPct = math.Abs(lb.Mbps-simMbps) / simMbps * 100
+			row.TputErrPct = math.Abs(wMbps-simMbps) / simMbps * 100
 		}
 		row.Pass = row.TputErrPct <= o.TolerancePct
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
+}
+
+// parityShim is the matched bottleneck both wire datapaths run
+// through, derived from the same option fields the sim link uses.
+func parityShim(seed int64, o WireParityOptions) wire.ShimConfig {
+	return wire.ShimConfig{
+		RateMbps:   o.Mbps,
+		QueueBytes: o.QueueBytes,
+		Delay:      o.RTT / 2,
+		AckDelay:   o.RTT / 2,
+		Seed:       wire.MixSeed(seed, 0x77),
+	}
+}
+
+// wireParityEngine is the engine-datapath wire half: the same
+// controller drives one sender flow on a sharded event loop through
+// the matched shim bottleneck into an engine receiver, measured over
+// the same real-time window as the legacy path.
+func wireParityEngine(seed int64, o WireParityOptions, proto string) (mbps, meanRTT, p95RTT, loss float64, err error) {
+	recv, err := engine.New(engine.Config{})
+	if err != nil {
+		return
+	}
+	defer recv.Stop()
+	snd, err := engine.New(engine.Config{})
+	if err != nil {
+		return
+	}
+	defer snd.Stop()
+	if err = recv.Start(); err != nil {
+		return
+	}
+	if err = snd.Start(); err != nil {
+		return
+	}
+	shim, err := wire.NewShim(parityShim(seed, o), net.UDPAddrFromAddrPort(recv.Addrs()[0]))
+	if err != nil {
+		return
+	}
+	if err = shim.Start(); err != nil {
+		shim.Stop()
+		return
+	}
+	defer shim.Stop()
+	fl, err := snd.AddFlow(engine.FlowConfig{
+		Dst:       shim.Addr().AddrPort(),
+		CC:        NewControllerRNG(rand.New(rand.NewSource(wire.MixSeed(seed, 0x55))), proto),
+		RecordRTT: true,
+	})
+	if err != nil {
+		return
+	}
+	time.Sleep(time.Duration(o.MeasureFrom * float64(time.Second)))
+	mark := fl.Stats()
+	markSamples := len(fl.RTTSamples())
+	time.Sleep(time.Duration((o.Duration - o.MeasureFrom) * float64(time.Second)))
+	st := fl.Stats()
+	rtts := fl.RTTSamples()[markSamples:]
+	window := o.Duration - o.MeasureFrom
+	mbps = float64(st.AckedBytes-mark.AckedBytes) * 8 / window / 1e6
+	meanRTT = stats.Mean(rtts)
+	p95RTT = stats.Percentile(rtts, 95)
+	if tot := st.AckedBytes + st.LostBytes; tot > 0 {
+		loss = float64(st.LostBytes) / float64(tot)
+	}
+	return
 }
 
 // wireParitySim is the simulator half: a solo flow on the matched link,
@@ -162,8 +239,12 @@ func wireParitySim(seed int64, o WireParityOptions, proto string) (mbps, meanRTT
 // Render formats the parity table with a PASS/FAIL verdict per row.
 func (r *WireParityResult) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "# Sim vs wire parity: %.0f Mbps, %.0f ms RTT, %.1f s window, tolerance %.0f%%\n",
-		r.Opts.Mbps, r.Opts.RTT*1e3, r.Opts.Duration-r.Opts.MeasureFrom, r.Opts.TolerancePct)
+	dp := "legacy"
+	if r.Opts.Engine {
+		dp = "engine"
+	}
+	fmt.Fprintf(&b, "# Sim vs wire parity (%s datapath): %.0f Mbps, %.0f ms RTT, %.1f s window, tolerance %.0f%%\n",
+		dp, r.Opts.Mbps, r.Opts.RTT*1e3, r.Opts.Duration-r.Opts.MeasureFrom, r.Opts.TolerancePct)
 	fmt.Fprintf(&b, "%-12s %9s %9s %7s %9s %9s %9s %9s %8s %8s  %s\n",
 		"proto", "sim Mbps", "wire Mbps", "err%",
 		"sim RTT", "wire RTT", "sim p95", "wire p95", "sim loss", "wire loss", "verdict")

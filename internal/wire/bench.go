@@ -38,8 +38,8 @@ func newBenchSender(cc transport.Controller) *Sender {
 	s.clock = NewClock()
 	s.tr = (*trace.Recorder)(nil).Tracer(1)
 	s.sendBuf = make([]byte, s.PacketSize)
-	s.pacer.cap = float64(8 * s.PacketSize)
-	s.pacer.reset(0)
+	s.pacer.Cap = float64(8 * s.PacketSize)
+	s.pacer.Reset(0)
 	return s
 }
 
@@ -55,8 +55,8 @@ func RunPacerBench(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		now += 1e-4
-		s.pacer.advance(now, cc.rate)
-		s.pacer.take(1200)
+		s.pacer.Advance(now, cc.rate)
+		s.pacer.Take(1200)
 		s.emit(now, now, 1200)
 		rec := s.unacked[len(s.unacked)-1]
 		rec.acked = true

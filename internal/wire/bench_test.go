@@ -15,8 +15,8 @@ func BenchmarkPacerSend(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		now += 1e-4
-		s.pacer.advance(now, cc.rate)
-		s.pacer.take(1200)
+		s.pacer.Advance(now, cc.rate)
+		s.pacer.Take(1200)
 		s.emit(now, now, 1200)
 		rec := s.unacked[len(s.unacked)-1]
 		rec.acked = true

@@ -26,9 +26,9 @@ var (
 
 // Wire format. All integers are big-endian.
 //
-// Data packet (DataHeaderLen bytes of header, padded with payload to
-// the configured packet size so serialization cost on the emulated
-// bottleneck matches the sim's MTU accounting):
+// Data packet, version 1 (DataHeaderLen bytes of header, padded with
+// payload to the configured packet size so serialization cost on the
+// emulated bottleneck matches the sim's MTU accounting):
 //
 //	off len field
 //	0   1   type   (0x50 'P')
@@ -42,7 +42,20 @@ var (
 //	            time so endpoints measure the emulated path's timing,
 //	            not the host scheduler's delivery jitter)
 //
-// Ack packet (AckFixedLen + 16 bytes per SACK block):
+// Data packet, version 2 (DataHeaderLenV2 bytes): identical except a
+// 4-byte flow ID follows the version byte, shifting the remaining
+// fields. Version 2 exists for the sharded engine datapath, where many
+// flows multiplex one socket and source address alone cannot demux:
+//
+//	off len field
+//	0   1   type   (0x50 'P')
+//	1   1   version (2)
+//	2   4   flow
+//	6   8   seq
+//	14  8   sentAt
+//	22  8   arrival
+//
+// Ack packet, version 1 (AckFixedLen + 16 bytes per SACK block):
 //
 //	off len field
 //	0   1   type   (0x41 'A')
@@ -52,20 +65,41 @@ var (
 //	18  8   recvAt  (wall nanos at the receiver)
 //	26  8   cumAck  (every seq < cumAck has been received)
 //	34  16n SACK blocks: [start,end) pairs above cumAck, highest last
+//
+// Ack packet, version 2 (type 0x42 'B', AckFixedLenV2 + 16n): the v1
+// layout with a 4-byte flow ID echoed after the block count. Acks use
+// a distinct type byte rather than a version field because the v1 ack
+// header has no version byte to dispatch on.
+//
+//	off len field
+//	0   1   type   (0x42 'B')
+//	1   1   number of SACK blocks
+//	2   4   flow
+//	6   8   seq
+//	14  8   sentAt
+//	22  8   recvAt
+//	30  8   cumAck
+//	38  16n SACK blocks
 const (
-	typeData = 0x50
-	typeAck  = 0x41
+	typeData  = 0x50
+	typeAck   = 0x41
+	typeAckV2 = 0x42
 
-	wireVersion = 1
+	wireVersion   = 1
+	wireVersionV2 = 2
 
-	// DataHeaderLen is the data-packet header size in bytes.
+	// DataHeaderLen is the version-1 data-packet header size in bytes.
 	DataHeaderLen = 10 + 8 + 8
-	// AckFixedLen is the fixed portion of an ack packet.
+	// DataHeaderLenV2 is the version-2 (flow-ID-bearing) header size.
+	DataHeaderLenV2 = DataHeaderLen + 4
+	// AckFixedLen is the fixed portion of a version-1 ack packet.
 	AckFixedLen = 34
+	// AckFixedLenV2 is the fixed portion of a version-2 ack packet.
+	AckFixedLenV2 = AckFixedLen + 4
 	// MaxSackBlocks bounds the SACK blocks carried per ack.
 	MaxSackBlocks = 4
-	// MaxAckLen is the largest possible ack packet.
-	MaxAckLen = AckFixedLen + 16*MaxSackBlocks
+	// MaxAckLen is the largest possible ack packet of either version.
+	MaxAckLen = AckFixedLenV2 + 16*MaxSackBlocks
 	// MaxDataLen is the largest acceptable data packet: the maximum
 	// UDP payload over IPv4 (65535 − 20 IP − 8 UDP).
 	MaxDataLen = 65507
@@ -74,8 +108,9 @@ const (
 // DataHeader is the decoded header of a data packet.
 type DataHeader struct {
 	Seq     int64
-	SentAt  int64 // wall nanos
-	Arrival int64 // emulated arrival wall nanos; 0 when no shim stamped it
+	SentAt  int64  // wall nanos
+	Arrival int64  // emulated arrival wall nanos; 0 when no shim stamped it
+	Flow    uint32 // engine flow ID; 0 on version-1 packets
 }
 
 // EncodeData writes a data packet of exactly size bytes into buf
@@ -91,21 +126,45 @@ func EncodeData(buf []byte, h DataHeader, size int) []byte {
 	return buf[:size]
 }
 
+// EncodeDataV2 writes a version-2 (flow-ID-bearing) data packet of
+// exactly size bytes into buf (len >= size >= DataHeaderLenV2) and
+// returns the packet slice. The engine datapath uses this form; the
+// legacy per-flow path keeps emitting version 1 byte-for-byte.
+func EncodeDataV2(buf []byte, h DataHeader, size int) []byte {
+	buf[0] = typeData
+	buf[1] = wireVersionV2
+	binary.BigEndian.PutUint32(buf[2:], h.Flow)
+	binary.BigEndian.PutUint64(buf[6:], uint64(h.Seq))
+	binary.BigEndian.PutUint64(buf[14:], uint64(h.SentAt))
+	binary.BigEndian.PutUint64(buf[22:], uint64(h.Arrival))
+	return buf[:size]
+}
+
 // StampArrival rewrites the arrival field of an encoded data or
 // segment packet in place — the impairment shim's hook (segments put
 // their arrival stamp at the same offset by design). It reports false
 // when b is neither.
 func StampArrival(b []byte, nanos int64) bool {
-	if len(b) < DataHeaderLen || (b[0] != typeData && b[0] != typeSegment) || b[1] != wireVersion {
+	if len(b) < DataHeaderLen {
 		return false
 	}
-	binary.BigEndian.PutUint64(b[18:], uint64(nanos))
-	return true
+	switch {
+	case b[0] == typeData && b[1] == wireVersionV2:
+		if len(b) < DataHeaderLenV2 {
+			return false
+		}
+		binary.BigEndian.PutUint64(b[22:], uint64(nanos))
+		return true
+	case (b[0] == typeData || b[0] == typeSegment) && b[1] == wireVersion:
+		binary.BigEndian.PutUint64(b[18:], uint64(nanos))
+		return true
+	}
+	return false
 }
 
-// DecodeData parses a data packet. It returns a nil error only for a
-// well-formed data packet: correct type and version bytes, a length
-// within [DataHeaderLen, MaxDataLen], and non-negative stamps.
+// DecodeData parses a data packet of either version. It returns a nil
+// error only for a well-formed data packet: correct type and version
+// bytes, a length within [header, MaxDataLen], and non-negative stamps.
 func DecodeData(b []byte) (DataHeader, error) {
 	if len(b) < DataHeaderLen {
 		return DataHeader{}, ErrTruncated
@@ -113,16 +172,29 @@ func DecodeData(b []byte) (DataHeader, error) {
 	if b[0] != typeData {
 		return DataHeader{}, ErrBadType
 	}
-	if b[1] != wireVersion {
-		return DataHeader{}, ErrBadVersion
-	}
 	if len(b) > MaxDataLen {
 		return DataHeader{}, ErrOversized
 	}
-	h := DataHeader{
-		Seq:     int64(binary.BigEndian.Uint64(b[2:])),
-		SentAt:  int64(binary.BigEndian.Uint64(b[10:])),
-		Arrival: int64(binary.BigEndian.Uint64(b[18:])),
+	var h DataHeader
+	switch b[1] {
+	case wireVersion:
+		h = DataHeader{
+			Seq:     int64(binary.BigEndian.Uint64(b[2:])),
+			SentAt:  int64(binary.BigEndian.Uint64(b[10:])),
+			Arrival: int64(binary.BigEndian.Uint64(b[18:])),
+		}
+	case wireVersionV2:
+		if len(b) < DataHeaderLenV2 {
+			return DataHeader{}, ErrTruncated
+		}
+		h = DataHeader{
+			Flow:    binary.BigEndian.Uint32(b[2:]),
+			Seq:     int64(binary.BigEndian.Uint64(b[6:])),
+			SentAt:  int64(binary.BigEndian.Uint64(b[14:])),
+			Arrival: int64(binary.BigEndian.Uint64(b[22:])),
+		}
+	default:
+		return DataHeader{}, ErrBadVersion
 	}
 	if h.Seq < 0 || h.SentAt < 0 || h.Arrival < 0 {
 		return DataHeader{}, ErrInconsistent
@@ -143,6 +215,7 @@ type AckPacket struct {
 	SentAtEcho int64 // wall nanos echoed from the data packet
 	RecvAt     int64 // wall nanos at the receiver
 	CumAck     int64
+	Flow       uint32 // engine flow ID echoed from the data packet; 0 on v1
 	Blocks     []SackBlock
 }
 
@@ -170,39 +243,76 @@ func (a *AckPacket) Encode(buf []byte) []byte {
 	return buf[:off]
 }
 
-// DecodeAck parses an ack packet into a, reusing a.Blocks. It returns
-// a nil error only for a well-formed ack: exact length for the
-// declared block count, non-negative sequence fields, and SACK blocks
-// that are non-empty, strictly ascending, non-overlapping, and
-// entirely above the cumulative ack. A malformed ack leaves a with
-// zero blocks so a caller that ignores the error cannot act on stale
-// ranges from a previous decode.
+// EncodeV2 writes the version-2 (flow-ID-echoing) form of the ack into
+// buf (len >= MaxAckLen) and returns the packet slice. Block clamping
+// matches Encode.
+func (a *AckPacket) EncodeV2(buf []byte) []byte {
+	blocks := a.Blocks
+	if len(blocks) > MaxSackBlocks {
+		blocks = blocks[len(blocks)-MaxSackBlocks:]
+	}
+	buf[0] = typeAckV2
+	buf[1] = byte(len(blocks))
+	binary.BigEndian.PutUint32(buf[2:], a.Flow)
+	binary.BigEndian.PutUint64(buf[6:], uint64(a.Seq))
+	binary.BigEndian.PutUint64(buf[14:], uint64(a.SentAtEcho))
+	binary.BigEndian.PutUint64(buf[22:], uint64(a.RecvAt))
+	binary.BigEndian.PutUint64(buf[30:], uint64(a.CumAck))
+	off := AckFixedLenV2
+	for _, bl := range blocks {
+		binary.BigEndian.PutUint64(buf[off:], uint64(bl.Start))
+		binary.BigEndian.PutUint64(buf[off+8:], uint64(bl.End))
+		off += 16
+	}
+	return buf[:off]
+}
+
+// DecodeAck parses an ack packet of either version into a, reusing
+// a.Blocks. It returns a nil error only for a well-formed ack: exact
+// length for the declared block count, non-negative sequence fields,
+// and SACK blocks that are non-empty, strictly ascending,
+// non-overlapping, and entirely above the cumulative ack. A malformed
+// ack leaves a with zero blocks so a caller that ignores the error
+// cannot act on stale ranges from a previous decode.
 func DecodeAck(b []byte, a *AckPacket) error {
 	a.Blocks = a.Blocks[:0]
+	a.Flow = 0
 	if len(b) < AckFixedLen {
 		return ErrTruncated
 	}
-	if b[0] != typeAck {
+	fixed := AckFixedLen
+	body := 2
+	switch b[0] {
+	case typeAck:
+	case typeAckV2:
+		fixed = AckFixedLenV2
+		body = 6
+		if len(b) < fixed {
+			return ErrTruncated
+		}
+		a.Flow = binary.BigEndian.Uint32(b[2:])
+	default:
 		return ErrBadType
 	}
 	n := int(b[1])
 	if n > MaxSackBlocks {
 		return ErrInconsistent
 	}
-	if len(b) < AckFixedLen+16*n {
+	if len(b) < fixed+16*n {
 		return ErrTruncated
 	}
-	if len(b) > AckFixedLen+16*n {
+	if len(b) > fixed+16*n {
 		return ErrOversized
 	}
-	a.Seq = int64(binary.BigEndian.Uint64(b[2:]))
-	a.SentAtEcho = int64(binary.BigEndian.Uint64(b[10:]))
-	a.RecvAt = int64(binary.BigEndian.Uint64(b[18:]))
-	a.CumAck = int64(binary.BigEndian.Uint64(b[26:]))
+	a.Seq = int64(binary.BigEndian.Uint64(b[body:]))
+	a.SentAtEcho = int64(binary.BigEndian.Uint64(b[body+8:]))
+	a.RecvAt = int64(binary.BigEndian.Uint64(b[body+16:]))
+	a.CumAck = int64(binary.BigEndian.Uint64(b[body+24:]))
 	if a.Seq < 0 || a.SentAtEcho < 0 || a.RecvAt < 0 || a.CumAck < 0 {
+		a.Flow = 0
 		return ErrInconsistent
 	}
-	off := AckFixedLen
+	off := fixed
 	prevEnd := a.CumAck
 	for i := 0; i < n; i++ {
 		bl := SackBlock{
@@ -221,8 +331,8 @@ func DecodeAck(b []byte, a *AckPacket) error {
 }
 
 // PacketType classifies a raw datagram for the shim's proxy loop
-// without a full decode: 'P' for data, 'A' for acks, 'F' for fetch
-// requests, 'S' for segments, 0 for junk.
+// without a full decode: 'P' for data, 'A' for acks (either version),
+// 'F' for fetch requests, 'S' for segments, 0 for junk.
 func PacketType(b []byte) byte {
 	if len(b) == 0 {
 		return 0
@@ -230,6 +340,8 @@ func PacketType(b []byte) byte {
 	switch b[0] {
 	case typeData, typeAck, typeFetch, typeSegment:
 		return b[0]
+	case typeAckV2:
+		return typeAck
 	}
 	return 0
 }

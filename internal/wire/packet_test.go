@@ -24,7 +24,7 @@ func TestDataPacketRoundtrip(t *testing.T) {
 		t.Fatalf("short packet: err=%v want ErrTruncated", err)
 	}
 	bad := append([]byte(nil), pkt...)
-	bad[1] = wireVersion + 1
+	bad[1] = wireVersionV2 + 1
 	if _, err := DecodeData(bad); err != ErrBadVersion {
 		t.Fatalf("wrong version: err=%v want ErrBadVersion", err)
 	}
@@ -160,36 +160,97 @@ func TestMixSeed(t *testing.T) {
 	}
 }
 
+func TestDataPacketV2Roundtrip(t *testing.T) {
+	buf := make([]byte, 1500)
+	h := DataHeader{Seq: 987654321, SentAt: 1710000000123456789, Flow: 0xdeadbeef}
+	pkt := EncodeDataV2(buf, h, 1200)
+	got, err := DecodeData(pkt)
+	if err != nil || got != h {
+		t.Fatalf("v2 roundtrip: got %+v err=%v want %+v", got, err, h)
+	}
+	if PacketType(pkt) != typeData {
+		t.Fatal("PacketType should classify v2 as data")
+	}
+	// The v2 arrival stamp lands at its shifted offset.
+	if !StampArrival(pkt, 42) {
+		t.Fatal("StampArrival should accept a v2 data packet")
+	}
+	got, err = DecodeData(pkt)
+	if err != nil || got.Arrival != 42 || got.Flow != h.Flow {
+		t.Fatalf("v2 stamp: got %+v err=%v", got, err)
+	}
+	// A v2 header shorter than DataHeaderLenV2 is truncated, not junk.
+	if _, err := DecodeData(pkt[:DataHeaderLenV2-1]); err != ErrTruncated {
+		t.Fatalf("short v2: err=%v want ErrTruncated", err)
+	}
+}
+
+func TestAckPacketV2Roundtrip(t *testing.T) {
+	var buf [MaxAckLen]byte
+	a := AckPacket{Seq: 7, SentAtEcho: 11, RecvAt: 13, CumAck: 5, Flow: 31337,
+		Blocks: []SackBlock{{Start: 8, End: 10}, {Start: 12, End: 15}}}
+	pkt := a.EncodeV2(buf[:])
+	if len(pkt) != AckFixedLenV2+2*16 {
+		t.Fatalf("v2 ack length %d want %d", len(pkt), AckFixedLenV2+2*16)
+	}
+	if PacketType(pkt) != typeAck {
+		t.Fatal("PacketType should classify a v2 ack as ack")
+	}
+	var out AckPacket
+	if err := DecodeAck(pkt, &out); err != nil {
+		t.Fatalf("v2 ack decode: %v", err)
+	}
+	if out.Seq != a.Seq || out.SentAtEcho != a.SentAtEcho || out.RecvAt != a.RecvAt ||
+		out.CumAck != a.CumAck || out.Flow != a.Flow || len(out.Blocks) != 2 ||
+		out.Blocks[0] != a.Blocks[0] || out.Blocks[1] != a.Blocks[1] {
+		t.Fatalf("v2 ack roundtrip: got %+v want %+v", out, a)
+	}
+	// A v1 decode into the same struct must clear the stale Flow.
+	var buf1 [MaxAckLen]byte
+	v1 := AckPacket{Seq: 1, CumAck: 1}
+	pkt1 := v1.Encode(buf1[:])
+	if err := DecodeAck(pkt1, &out); err != nil || out.Flow != 0 {
+		t.Fatalf("v1 after v2: err=%v flow=%d want 0", err, out.Flow)
+	}
+	// Truncated and inconsistent v2 acks are rejected.
+	if err := DecodeAck(pkt[:AckFixedLenV2-1], &out); err != ErrTruncated {
+		t.Fatalf("short v2 ack: err=%v want ErrTruncated", err)
+	}
+	if err := DecodeAck(pkt[:AckFixedLenV2], &out); err != ErrTruncated {
+		t.Fatalf("v2 ack missing blocks: err=%v want ErrTruncated", err)
+	}
+}
+
 func TestPacerAccrualAndDelay(t *testing.T) {
-	p := pacer{cap: 12000}
-	p.reset(0)
-	p.advance(0.001, 1e6) // 1 MB/s for 1 ms = 1000 bytes
-	if p.take(1200) {
+	p := Pacer{Cap: 12000}
+	p.Reset(0)
+	p.Advance(0.001, 1e6) // 1 MB/s for 1 ms = 1000 bytes
+	if p.Take(1200) {
 		t.Fatal("took more tokens than accrued")
 	}
-	if d := p.delay(1200, 1e6); math.Abs(d-200e-6) > 1e-9 {
+	if d := p.Delay(1200, 1e6); math.Abs(d-200e-6) > 1e-9 {
 		t.Fatalf("delay %.9f want 200µs", d)
 	}
-	p.advance(0.002, 1e6)
-	if !p.take(1200) {
+	p.Advance(0.002, 1e6)
+	if !p.Take(1200) {
 		t.Fatal("tokens should be available after 2 ms")
 	}
 	// The bucket caps accumulation: a long sleep cannot build an
 	// unbounded burst.
-	p.advance(10, 1e6)
-	if p.tokens != p.cap {
-		t.Fatalf("tokens %.0f want cap %.0f", p.tokens, p.cap)
+	p.Advance(10, 1e6)
+	if p.tokens != p.Cap {
+		t.Fatalf("tokens %.0f want cap %.0f", p.tokens, p.Cap)
 	}
 	// Infinite/huge rates disable pacing entirely.
-	p2 := pacer{cap: 5000}
-	p2.advance(0, math.Inf(1))
-	if !p2.take(4999) || p2.delay(5000, math.Inf(1)) != 0 {
+	p2 := Pacer{Cap: 5000}
+	p2.Advance(0, math.Inf(1))
+	if !p2.Take(4999) || p2.Delay(5000, math.Inf(1)) != 0 {
 		t.Fatal("infinite rate should fill the bucket and never delay")
 	}
 	// Time never runs backwards through the bucket.
-	p3 := pacer{cap: 5000}
-	p3.reset(1)
-	p3.advance(0.5, 1e6)
+	p3 := Pacer{Cap: 5000}
+	p3.Reset(1)
+	p3.Advance(0.5, 1e6)
 	if p3.tokens != 0 {
 		t.Fatalf("backwards advance accrued %v tokens", p3.tokens)
 	}

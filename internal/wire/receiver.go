@@ -23,18 +23,35 @@ type ReceiverStats struct {
 	SegsSent  int64 // segment responses written back
 }
 
-// flowState is the per-source ack state: a cumulative ack plus SACK
-// ranges, keyed by the sender's source address. A sender that restarts
-// and rebinds arrives from a fresh port and therefore gets fresh state
-// — exactly the rebind semantics a restart needs — while the old
-// flow's state ages out on the idle deadline.
+// AckTracker maintains the receive-side sequence state of one flow: a
+// cumulative ack (every seq < Cum received) plus sorted disjoint SACK
+// ranges above it. Exported so the sharded engine datapath's receiver
+// flows reuse the exact merge semantics of the per-source Receiver.
+type AckTracker struct {
+	Cum    int64 // every seq < Cum has been received
+	Ranges []SackBlock
+}
+
+// flowKey identifies one flow at the receiver: the sender's source
+// address plus the packet's flow ID (always 0 on version-1 packets,
+// preserving the historical source-address-only keying; engine
+// senders multiplex many flow IDs over one source socket).
+type flowKey struct {
+	src  netip.AddrPort
+	flow uint32
+}
+
+// flowState is the per-flow ack state. A sender that restarts and
+// rebinds arrives from a fresh port and therefore gets fresh state —
+// exactly the rebind semantics a restart needs — while the old flow's
+// state ages out on the idle deadline.
 type flowState struct {
-	cum      int64 // every seq < cum received
-	ranges   []SackBlock
+	AckTracker
 	pkts     int64
 	dups     int64
 	highest  int64
 	lastSeen float64 // receiver-clock seconds of the last datagram
+	v2       bool    // acks echo the data packets' wire version
 }
 
 // maxTrackedRanges bounds per-flow SACK state under pathological
@@ -51,48 +68,48 @@ const (
 	defaultMaxFlows    = 64
 )
 
-// record merges seq into the cumulative-ack/SACK state and reports
+// Record merges seq into the cumulative-ack/SACK state and reports
 // whether it was new.
-func (f *flowState) record(seq int64) bool {
-	if seq < f.cum {
+func (f *AckTracker) Record(seq int64) bool {
+	if seq < f.Cum {
 		return false
 	}
-	if seq == f.cum {
-		f.cum++
-		for len(f.ranges) > 0 && f.ranges[0].Start <= f.cum {
-			if f.ranges[0].End > f.cum {
-				f.cum = f.ranges[0].End
+	if seq == f.Cum {
+		f.Cum++
+		for len(f.Ranges) > 0 && f.Ranges[0].Start <= f.Cum {
+			if f.Ranges[0].End > f.Cum {
+				f.Cum = f.Ranges[0].End
 			}
-			f.ranges = f.ranges[1:]
+			f.Ranges = f.Ranges[1:]
 		}
 		return true
 	}
 	// Out-of-order arrival: splice into the sorted disjoint ranges.
-	for i := range f.ranges {
-		bl := &f.ranges[i]
+	for i := range f.Ranges {
+		bl := &f.Ranges[i]
 		switch {
 		case seq >= bl.Start && seq < bl.End:
 			return false
 		case seq == bl.End:
 			bl.End++
-			if i+1 < len(f.ranges) && f.ranges[i+1].Start == bl.End {
-				bl.End = f.ranges[i+1].End
-				f.ranges = append(f.ranges[:i+1], f.ranges[i+2:]...)
+			if i+1 < len(f.Ranges) && f.Ranges[i+1].Start == bl.End {
+				bl.End = f.Ranges[i+1].End
+				f.Ranges = append(f.Ranges[:i+1], f.Ranges[i+2:]...)
 			}
 			return true
 		case seq == bl.Start-1:
 			bl.Start--
 			return true
 		case seq < bl.Start:
-			f.ranges = append(f.ranges, SackBlock{})
-			copy(f.ranges[i+1:], f.ranges[i:])
-			f.ranges[i] = SackBlock{Start: seq, End: seq + 1}
+			f.Ranges = append(f.Ranges, SackBlock{})
+			copy(f.Ranges[i+1:], f.Ranges[i:])
+			f.Ranges[i] = SackBlock{Start: seq, End: seq + 1}
 			return true
 		}
 	}
-	f.ranges = append(f.ranges, SackBlock{Start: seq, End: seq + 1})
-	if len(f.ranges) > maxTrackedRanges {
-		f.ranges = f.ranges[1:]
+	f.Ranges = append(f.Ranges, SackBlock{Start: seq, End: seq + 1})
+	if len(f.Ranges) > maxTrackedRanges {
+		f.Ranges = f.Ranges[1:]
 	}
 	return true
 }
@@ -126,7 +143,7 @@ type Receiver struct {
 	clock Clock
 
 	mu        sync.Mutex
-	flows     map[netip.AddrPort]*flowState
+	flows     map[flowKey]*flowState
 	pkts      int64
 	bytes     int64
 	dups      int64
@@ -165,7 +182,7 @@ func (r *Receiver) Start() error {
 	}
 	r.clock = NewClock()
 	r.highest = -1
-	r.flows = make(map[netip.AddrPort]*flowState)
+	r.flows = make(map[flowKey]*flowState)
 	if r.IdleTimeout <= 0 {
 		r.IdleTimeout = defaultIdleTimeout
 	}
@@ -196,7 +213,7 @@ func (r *Receiver) Stop() {
 // cope (the chaos peer-restart fault drives this).
 func (r *Receiver) Reset() {
 	r.mu.Lock()
-	r.flows = make(map[netip.AddrPort]*flowState)
+	r.flows = make(map[flowKey]*flowState)
 	r.lastCum = 0
 	r.mu.Unlock()
 }
@@ -218,12 +235,12 @@ func (r *Receiver) Stats() ReceiverStats {
 
 // flow returns (creating if needed) the state for src, enforcing the
 // flow cap by evicting the stalest flow. Called with the mutex held.
-func (r *Receiver) flow(src netip.AddrPort, now float64) *flowState {
-	if f, ok := r.flows[src]; ok {
+func (r *Receiver) flow(key flowKey, now float64) *flowState {
+	if f, ok := r.flows[key]; ok {
 		return f
 	}
 	if len(r.flows) >= r.MaxFlows {
-		var oldKey netip.AddrPort
+		var oldKey flowKey
 		oldest := now + 1
 		for k, f := range r.flows {
 			if f.lastSeen < oldest {
@@ -236,7 +253,7 @@ func (r *Receiver) flow(src netip.AddrPort, now float64) *flowState {
 		r.evicted++
 	}
 	f := &flowState{highest: -1}
-	r.flows[src] = f
+	r.flows[key] = f
 	return f
 }
 
@@ -261,7 +278,7 @@ func (r *Receiver) sweep(now float64) {
 // packets actually landed instead of discovering the gap by RTO after
 // it rebinds. Called with the mutex held; the write itself is rare
 // (evictions are exceptional) so holding the lock across it is fine.
-func (r *Receiver) flushFinalAck(src netip.AddrPort, f *flowState) {
+func (r *Receiver) flushFinalAck(key flowKey, f *flowState) {
 	if r.Conn == nil { // unit-level flow-table tests run socketless
 		return
 	}
@@ -272,16 +289,23 @@ func (r *Receiver) flushFinalAck(src netip.AddrPort, f *flowState) {
 	}
 	ack.SentAtEcho = 0
 	ack.RecvAt = r.clock.WallNanos()
-	ack.CumAck = f.cum
-	ack.Blocks = append(ack.Blocks[:0], f.ranges...)
-	pkt := ack.Encode(r.evictBuf[:])
+	ack.CumAck = f.Cum
+	ack.Blocks = append(ack.Blocks[:0], f.Ranges...)
+	var pkt []byte
+	if f.v2 {
+		ack.Flow = key.flow
+		pkt = ack.EncodeV2(r.evictBuf[:])
+	} else {
+		pkt = ack.Encode(r.evictBuf[:])
+	}
 	r.acks++
-	r.Conn.WriteToUDPAddrPort(pkt, src)
+	r.Conn.WriteToUDPAddrPort(pkt, key.src)
 }
 
 func (r *Receiver) loop() {
 	defer r.wg.Done()
-	buf := make([]byte, 65536)
+	buf := PacketBufs.Get()
+	defer PacketBufs.Put(buf)
 	for {
 		select {
 		case <-r.done:
@@ -336,9 +360,12 @@ func (r *Receiver) loop() {
 		}
 		now := r.clock.Now()
 		r.mu.Lock()
-		f := r.flow(src, now)
+		f := r.flow(flowKey{src: src, flow: h.Flow}, now)
 		f.lastSeen = now
-		dup := !f.record(h.Seq)
+		if h.Flow != 0 {
+			f.v2 = true // engine flow IDs are nonzero; acks echo the version
+		}
+		dup := !f.Record(h.Seq)
 		if dup {
 			f.dups++
 			r.dups++
@@ -353,7 +380,7 @@ func (r *Receiver) loop() {
 		if h.Seq > r.highest {
 			r.highest = h.Seq
 		}
-		r.lastCum = f.cum
+		r.lastCum = f.Cum
 		ack := &r.ackScratch
 		ack.Seq = h.Seq
 		ack.SentAtEcho = h.SentAt
@@ -364,9 +391,16 @@ func (r *Receiver) loop() {
 		if ack.RecvAt == 0 {
 			ack.RecvAt = r.clock.WallNanos()
 		}
-		ack.CumAck = f.cum
-		ack.Blocks = append(ack.Blocks[:0], f.ranges...)
-		pkt := ack.Encode(r.ackBuf[:])
+		ack.CumAck = f.Cum
+		ack.Blocks = append(ack.Blocks[:0], f.Ranges...)
+		var pkt []byte
+		if f.v2 {
+			ack.Flow = h.Flow
+			pkt = ack.EncodeV2(r.ackBuf[:])
+		} else {
+			ack.Flow = 0
+			pkt = ack.Encode(r.ackBuf[:])
+		}
 		r.acks++
 		r.sweep(now)
 		r.mu.Unlock()

@@ -14,8 +14,8 @@ func testAddr(i int) netip.AddrPort {
 // expected "new packet" result.
 func expectRecord(t *testing.T, f *flowState, seq int64, ok bool) {
 	t.Helper()
-	if got := f.record(seq); got != ok {
-		t.Fatalf("record(%d) = %v want %v (cum=%d ranges=%v)", seq, got, ok, f.cum, f.ranges)
+	if got := f.Record(seq); got != ok {
+		t.Fatalf("record(%d) = %v want %v (cum=%d ranges=%v)", seq, got, ok, f.Cum, f.Ranges)
 	}
 }
 
@@ -24,8 +24,8 @@ func TestReceiverRecordInOrder(t *testing.T) {
 	for i := int64(0); i < 5; i++ {
 		expectRecord(t, f, i, true)
 	}
-	if f.cum != 5 || len(f.ranges) != 0 {
-		t.Fatalf("cum=%d ranges=%v", f.cum, f.ranges)
+	if f.Cum != 5 || len(f.Ranges) != 0 {
+		t.Fatalf("cum=%d ranges=%v", f.Cum, f.Ranges)
 	}
 	expectRecord(t, f, 3, false) // retransmit below cum is a dup
 }
@@ -34,42 +34,42 @@ func TestReceiverRecordGapAndFill(t *testing.T) {
 	f := &flowState{}
 	expectRecord(t, f, 0, true)
 	expectRecord(t, f, 2, true) // hole at 1
-	if f.cum != 1 || len(f.ranges) != 1 || f.ranges[0] != (SackBlock{2, 3}) {
-		t.Fatalf("cum=%d ranges=%v", f.cum, f.ranges)
+	if f.Cum != 1 || len(f.Ranges) != 1 || f.Ranges[0] != (SackBlock{2, 3}) {
+		t.Fatalf("cum=%d ranges=%v", f.Cum, f.Ranges)
 	}
 	expectRecord(t, f, 2, false) // dup inside a range
 	expectRecord(t, f, 1, true)  // fill the hole: cum jumps past the range
-	if f.cum != 3 || len(f.ranges) != 0 {
-		t.Fatalf("after fill: cum=%d ranges=%v", f.cum, f.ranges)
+	if f.Cum != 3 || len(f.Ranges) != 0 {
+		t.Fatalf("after fill: cum=%d ranges=%v", f.Cum, f.Ranges)
 	}
 }
 
 func TestReceiverRecordMergesAdjacentRanges(t *testing.T) {
 	f := &flowState{}
-	f.cum = 0
+	f.Cum = 0
 	expectRecord(t, f, 5, true)
 	expectRecord(t, f, 7, true)
-	if len(f.ranges) != 2 {
-		t.Fatalf("ranges=%v", f.ranges)
+	if len(f.Ranges) != 2 {
+		t.Fatalf("ranges=%v", f.Ranges)
 	}
 	expectRecord(t, f, 6, true) // bridges {5,6} and {7,8}
-	if len(f.ranges) != 1 || f.ranges[0] != (SackBlock{5, 8}) {
-		t.Fatalf("merge failed: %v", f.ranges)
+	if len(f.Ranges) != 1 || f.Ranges[0] != (SackBlock{5, 8}) {
+		t.Fatalf("merge failed: %v", f.Ranges)
 	}
 	expectRecord(t, f, 4, true) // extends {5,8} downward
-	if f.ranges[0] != (SackBlock{4, 8}) {
-		t.Fatalf("downward extend failed: %v", f.ranges)
+	if f.Ranges[0] != (SackBlock{4, 8}) {
+		t.Fatalf("downward extend failed: %v", f.Ranges)
 	}
 	expectRecord(t, f, 2, true) // new range below the existing one
-	if len(f.ranges) != 2 || f.ranges[0] != (SackBlock{2, 3}) {
-		t.Fatalf("insert-below failed: %v", f.ranges)
+	if len(f.Ranges) != 2 || f.Ranges[0] != (SackBlock{2, 3}) {
+		t.Fatalf("insert-below failed: %v", f.Ranges)
 	}
 	// Filling 0,1,3 collapses everything into cum.
 	expectRecord(t, f, 0, true)
 	expectRecord(t, f, 1, true)
 	expectRecord(t, f, 3, true)
-	if f.cum != 8 || len(f.ranges) != 0 {
-		t.Fatalf("final: cum=%d ranges=%v", f.cum, f.ranges)
+	if f.Cum != 8 || len(f.Ranges) != 0 {
+		t.Fatalf("final: cum=%d ranges=%v", f.Cum, f.Ranges)
 	}
 }
 
@@ -79,11 +79,11 @@ func TestReceiverRecordOverflowDropsLowest(t *testing.T) {
 	for i := 0; i <= maxTrackedRanges; i++ {
 		expectRecord(t, f, int64(2*i+2), true)
 	}
-	if len(f.ranges) != maxTrackedRanges {
-		t.Fatalf("len(ranges)=%d want %d", len(f.ranges), maxTrackedRanges)
+	if len(f.Ranges) != maxTrackedRanges {
+		t.Fatalf("len(ranges)=%d want %d", len(f.Ranges), maxTrackedRanges)
 	}
-	if f.ranges[0].Start != 4 {
-		t.Fatalf("lowest range should have been discarded, got %v", f.ranges[0])
+	if f.Ranges[0].Start != 4 {
+		t.Fatalf("lowest range should have been discarded, got %v", f.Ranges[0])
 	}
 }
 
@@ -95,7 +95,7 @@ func TestReceiverRecordDuplicationNoDoubleCount(t *testing.T) {
 	newCount := 0
 	for i := int64(0); i < 50; i++ {
 		for rep := 0; rep < 3; rep++ {
-			if f.record(i) {
+			if f.Record(i) {
 				newCount++
 			}
 		}
@@ -103,21 +103,21 @@ func TestReceiverRecordDuplicationNoDoubleCount(t *testing.T) {
 	if newCount != 50 {
 		t.Fatalf("newCount=%d want 50 (duplicates double-counted)", newCount)
 	}
-	if f.cum != 50 || len(f.ranges) != 0 {
-		t.Fatalf("cum=%d ranges=%v", f.cum, f.ranges)
+	if f.Cum != 50 || len(f.Ranges) != 0 {
+		t.Fatalf("cum=%d ranges=%v", f.Cum, f.Ranges)
 	}
 	// Duplicates of out-of-order packets sitting in SACK ranges.
 	g := &flowState{}
 	for _, seq := range []int64{5, 5, 7, 7, 5, 9, 7} {
-		g.record(seq)
+		g.Record(seq)
 	}
 	want := []SackBlock{{5, 6}, {7, 8}, {9, 10}}
-	if g.cum != 0 || len(g.ranges) != len(want) {
-		t.Fatalf("cum=%d ranges=%v", g.cum, g.ranges)
+	if g.Cum != 0 || len(g.Ranges) != len(want) {
+		t.Fatalf("cum=%d ranges=%v", g.Cum, g.Ranges)
 	}
 	for i, bl := range want {
-		if g.ranges[i] != bl {
-			t.Fatalf("ranges=%v want %v", g.ranges, want)
+		if g.Ranges[i] != bl {
+			t.Fatalf("ranges=%v want %v", g.Ranges, want)
 		}
 	}
 }
@@ -133,27 +133,27 @@ func TestReceiverRecordSevereReordering(t *testing.T) {
 		order := rng.Perm(n)
 		f := &flowState{}
 		for _, v := range order {
-			f.record(int64(v))
+			f.Record(int64(v))
 			if rng.Intn(4) == 0 {
-				f.record(int64(v)) // sprinkle duplicates
+				f.Record(int64(v)) // sprinkle duplicates
 			}
 			checkFlowConsistent(t, f)
 		}
-		if f.cum != n || len(f.ranges) != 0 {
-			t.Fatalf("trial %d: cum=%d ranges=%v", trial, f.cum, f.ranges)
+		if f.Cum != n || len(f.Ranges) != 0 {
+			t.Fatalf("trial %d: cum=%d ranges=%v", trial, f.Cum, f.Ranges)
 		}
 	}
 }
 
 func checkFlowConsistent(t *testing.T, f *flowState) {
 	t.Helper()
-	prev := f.cum
-	for i, bl := range f.ranges {
+	prev := f.Cum
+	for i, bl := range f.Ranges {
 		if bl.Start >= bl.End {
-			t.Fatalf("range %d inverted: %v", i, f.ranges)
+			t.Fatalf("range %d inverted: %v", i, f.Ranges)
 		}
 		if bl.Start < prev {
-			t.Fatalf("range %d overlaps/below cum=%d: %v", i, f.cum, f.ranges)
+			t.Fatalf("range %d overlaps/below cum=%d: %v", i, f.Cum, f.Ranges)
 		}
 		prev = bl.End
 	}
@@ -163,11 +163,11 @@ func checkFlowConsistent(t *testing.T, f *flowState) {
 // distinct ack state, the flow cap evicts the stalest flow, and the
 // idle sweep reclaims silent flows.
 func TestReceiverFlowEvictionBounds(t *testing.T) {
-	r := &Receiver{MaxFlows: 4, IdleTimeout: 10, flows: map[netip.AddrPort]*flowState{}}
+	r := &Receiver{MaxFlows: 4, IdleTimeout: 10, flows: map[flowKey]*flowState{}}
 	for i := 0; i < 8; i++ {
-		f := r.flow(testAddr(i), float64(i))
+		f := r.flow(flowKey{src: testAddr(i)}, float64(i))
 		f.lastSeen = float64(i)
-		f.record(int64(i))
+		f.Record(int64(i))
 	}
 	if len(r.flows) != 4 {
 		t.Fatalf("flows=%d want 4 (cap not enforced)", len(r.flows))
@@ -177,13 +177,13 @@ func TestReceiverFlowEvictionBounds(t *testing.T) {
 	}
 	// The survivors must be the 4 most recently seen sources.
 	for i := 4; i < 8; i++ {
-		if _, ok := r.flows[testAddr(i)]; !ok {
+		if _, ok := r.flows[flowKey{src: testAddr(i)}]; !ok {
 			t.Fatalf("flow %d missing: %v", i, r.flows)
 		}
 	}
 	// Idle sweep: advance past the deadline for flows 4 and 5 only.
-	r.flows[testAddr(6)].lastSeen = 100
-	r.flows[testAddr(7)].lastSeen = 100
+	r.flows[flowKey{src: testAddr(6)}].lastSeen = 100
+	r.flows[flowKey{src: testAddr(7)}].lastSeen = 100
 	r.sweep(101)
 	if len(r.flows) != 2 {
 		t.Fatalf("after sweep: flows=%d want 2", len(r.flows))

@@ -126,7 +126,7 @@ type Sender struct {
 
 	mu       sync.Mutex
 	rtt      transport.RTTEstimator
-	pacer    pacer
+	pacer    Pacer
 	unacked  []*wireRec
 	freelist []*wireRec
 	sp       transport.SentPacket // reused OnSend scratch
@@ -217,8 +217,8 @@ func (s *Sender) Start() error {
 	}
 	s.clock = NewClock()
 	s.sendBuf = make([]byte, s.PacketSize)
-	s.pacer.cap = float64(2 * s.Burst * s.PacketSize)
-	s.pacer.reset(0)
+	s.pacer.Cap = float64(2 * s.Burst * s.PacketSize)
+	s.pacer.Reset(0)
 	s.done = make(chan struct{})
 	s.complete = make(chan struct{})
 	s.started = true
@@ -345,7 +345,7 @@ func (s *Sender) sendLoop() {
 			continue
 		}
 		rate := s.pacingRate()
-		s.pacer.advance(now, rate)
+		s.pacer.Advance(now, rate)
 		// Trains are all-or-nothing: the loop waits until the bucket
 		// covers a full Burst, then drains every token it holds, like
 		// the simulated sender's multi-packet pacing events. Each packet
@@ -370,9 +370,9 @@ func (s *Sender) sendLoop() {
 		// over the interval it was *due*, not the instant it happened
 		// to be emitted.
 		sent, gated := 0, false
-		if s.pacer.delay(s.trainBytes(), rate) == 0 {
+		if s.pacer.Delay(s.trainBytes(), rate) == 0 {
 			finite := rate > 0 && rate <= maxFiniteRate
-			if !finite || !s.schedAnchor || now-s.sched > s.pacer.cap/rate+schedSlack {
+			if !finite || !s.schedAnchor || now-s.sched > s.pacer.Cap/rate+schedSlack {
 				s.sched = now
 				s.schedAnchor = true
 			}
@@ -386,7 +386,7 @@ func (s *Sender) sendLoop() {
 					gated = true
 					break
 				}
-				if !s.pacer.take(size) {
+				if !s.pacer.Take(size) {
 					break
 				}
 				virt := now
@@ -406,7 +406,7 @@ func (s *Sender) sendLoop() {
 			// Window- or limit-blocked: wake on the ack-poll cadence.
 			sleep = maxSleep
 		} else {
-			d := s.pacer.delay(s.trainBytes(), rate)
+			d := s.pacer.Delay(s.trainBytes(), rate)
 			sleep = time.Duration(d * float64(time.Second))
 			if sleep > maxSleep {
 				sleep = maxSleep
@@ -587,7 +587,7 @@ func (s *Sender) recoverFromOutage(now float64) {
 	// Re-anchor pacing: the dead time must not turn into a catch-up
 	// burst or stale schedule stamps.
 	s.schedAnchor = false
-	s.pacer.reset(now)
+	s.pacer.Reset(now)
 }
 
 // pacingRate mirrors the simulated transport's convention: an explicit

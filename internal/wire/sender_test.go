@@ -37,8 +37,8 @@ func newUnitSender(cc transport.Controller) *Sender {
 	s.clock = NewClock()
 	s.tr = (*trace.Recorder)(nil).Tracer(1)
 	s.sendBuf = make([]byte, s.PacketSize)
-	s.pacer.cap = float64(8 * s.PacketSize)
-	s.pacer.reset(0)
+	s.pacer.Cap = float64(8 * s.PacketSize)
+	s.pacer.Reset(0)
 	return s
 }
 

@@ -130,7 +130,7 @@ type Shim struct {
 	ackCh     chan forwardItem
 	reorderCh chan forwardItem
 
-	bufPool sync.Pool
+	bufPool *BufPool
 
 	started  bool
 	done     chan struct{}
@@ -169,8 +169,8 @@ func NewShim(cfg ShimConfig, dst *net.UDPAddr) (*Shim, error) {
 		dataCh:      make(chan forwardItem, 1<<14),
 		ackCh:       make(chan forwardItem, 1<<14),
 		reorderCh:   make(chan forwardItem, 1<<12),
+		bufPool:     PacketBufs,
 	}
-	sh.bufPool.New = func() any { return make([]byte, 65536) }
 	return sh, nil
 }
 
@@ -271,7 +271,8 @@ func (sh *Shim) accrueCapacity(now float64) {
 
 func (sh *Shim) readLoop() {
 	defer sh.wg.Done()
-	buf := make([]byte, 65536)
+	buf := sh.bufPool.Get()
+	defer sh.bufPool.Put(buf)
 	for {
 		select {
 		case <-sh.done:
@@ -418,7 +419,7 @@ func (sh *Shim) handleBottleneck(buf []byte, n int, src *net.UDPAddr, seg bool) 
 	// A receiver clock jump shifts the stamped arrival the endpoints
 	// measure with, not the physical forwarding time.
 	stamp := sh.clock.NanosAt(arrival + sh.fault.ClockOffset)
-	b := sh.bufPool.Get().([]byte)
+	b := sh.bufPool.Get()
 	copy(b, buf[:n])
 	if corrupt {
 		// Deterministic mangle: version byte plus the tail byte. The
@@ -439,7 +440,7 @@ func (sh *Shim) handleBottleneck(buf []byte, n int, src *net.UDPAddr, seg bool) 
 		// The duplicate copy arrives clean alongside the original
 		// (only the first copy was damaged), as in netem.
 		sh.stats.Duplicated++
-		b2 := sh.bufPool.Get().([]byte)
+		b2 := sh.bufPool.Get()
 		copy(b2, buf[:n])
 		StampArrival(b2[:n], stamp)
 		if !sh.enqueue(ch, forwardItem{at: arrival, buf: b2, n: n, epoch: sh.epoch, toSender: seg}) {
@@ -472,7 +473,7 @@ func (sh *Shim) handleFetch(buf []byte, n int, src *net.UDPAddr) {
 		out = sh.lastAckOut
 	}
 	sh.lastAckOut = out
-	b := sh.bufPool.Get().([]byte)
+	b := sh.bufPool.Get()
 	copy(b, buf[:n])
 	if !sh.enqueue(sh.ackCh, forwardItem{at: out, buf: b, n: n, epoch: sh.epoch}) {
 		sh.bufPool.Put(b)
@@ -498,7 +499,7 @@ func (sh *Shim) handleAck(buf []byte, n int) {
 		out = sh.lastAckOut
 	}
 	sh.lastAckOut = out
-	b := sh.bufPool.Get().([]byte)
+	b := sh.bufPool.Get()
 	copy(b, buf[:n])
 	if !sh.enqueue(sh.ackCh, forwardItem{at: out, buf: b, n: n, epoch: sh.epoch, toSender: true}) {
 		sh.bufPool.Put(b)
