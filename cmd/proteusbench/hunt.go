@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"pccproteus/internal/adversary"
+	"pccproteus/internal/pathmodel"
 )
 
 // runHunt drives the adversarial search: it hunts for a schedule that
@@ -12,9 +13,13 @@ import (
 // and final verdicts, and (optionally) writes the minimized
 // counterexample as a JSON replay file. The exit error is non-nil only
 // on operational failures — finding a violation is a successful hunt.
-func runHunt(w io.Writer, proto string, budget int, seed int64, jobs int, fast bool, out string) error {
+func runHunt(w io.Writer, proto, model string, budget int, seed int64, jobs int, fast bool, out string) error {
+	sc := adversary.DefaultScenario(proto, fast)
+	if model != "" {
+		sc.PathModel = &pathmodel.Spec{Kind: model}
+	}
 	cfg := adversary.Config{
-		Scenario: adversary.DefaultScenario(proto, fast),
+		Scenario: sc,
 		Budget:   budget,
 		Seed:     seed,
 		Jobs:     jobs,

@@ -47,7 +47,7 @@ import (
 var csvDir string
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (2..22, ablation, equilibrium, lte, fetch, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (2..22, ablation, equilibrium, lte, cellular, satellite, incast, fetch, all)")
 	fast := flag.Bool("fast", false, "reduced grids and durations")
 	trials := flag.Int("trials", 0, "trials per data point (0 = default)")
 	jobs := flag.Int("jobs", 0, "figures to run in parallel (0 = NumCPU, capped at figure count)")
@@ -58,6 +58,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "master seed for all per-trial RNGs (0 = historical defaults)")
 	hunt := flag.String("hunt", "", "hunt for invariant violations of this controller instead of running figures")
 	huntBudget := flag.Int("hunt-budget", 200, "schedule evaluations to spend in a -hunt search")
+	huntModel := flag.String("hunt-model", "", "hunt over this path model (lte, 5g, leo) instead of a static bottleneck")
 	huntOut := flag.String("hunt-out", "", "write the minimized counterexample JSON here (with -hunt)")
 	replay := flag.String("replay", "", "re-verify a counterexample replay file instead of running figures")
 	wireMode := flag.Bool("wire", false, "run the sim-vs-wire parity table (real UDP loopback, real time) instead of figures; with -replay, replay the counterexample through the wire shim")
@@ -130,7 +131,7 @@ func main() {
 			if huntJobs <= 0 {
 				huntJobs = runtime.NumCPU()
 			}
-			err = runHunt(os.Stdout, *hunt, *huntBudget, huntSeed, huntJobs, *fast, *huntOut)
+			err = runHunt(os.Stdout, *hunt, *huntModel, *huntBudget, huntSeed, huntJobs, *fast, *huntOut)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "proteusbench: %v\n", err)
@@ -153,7 +154,8 @@ func main() {
 	ids := strings.Split(*fig, ",")
 	if *fig == "all" {
 		ids = []string{"2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13",
-			"14", "15", "16", "17", "18", "19", "21", "22", "ablation", "equilibrium", "fetch"}
+			"14", "15", "16", "17", "18", "19", "21", "22", "ablation", "equilibrium", "fetch",
+			"cellular", "satellite", "incast"}
 	}
 	for i, id := range ids {
 		ids[i] = strings.TrimSpace(id)
@@ -302,10 +304,39 @@ func run(w io.Writer, id string, o exp.Options) error {
 		emit(w, "lte", exp.LTESolo(o, append(append([]string{}, exp.AllSingle...), exp.ProtoAllegro)))
 	case "equilibrium":
 		printEquilibrium(w)
+	case "cellular":
+		for _, model := range []string{"lte", "5g"} {
+			t, err := exp.CellularSolo(o, nil, model)
+			if err != nil {
+				return err
+			}
+			emit(w, "cellular_"+model, t)
+		}
+		t, err := exp.CellularYield(o, "lte")
+		if err != nil {
+			return err
+		}
+		emit(w, "cellular_yield", t)
+	case "satellite":
+		t, err := exp.SatelliteSurvival(o, nil)
+		if err != nil {
+			return err
+		}
+		emit(w, "satellite", t)
+	case "incast":
+		emit(w, "incast", exp.IncastFairness(o, nil))
 	default:
-		return fmt.Errorf("unknown figure %q", id)
+		return fmt.Errorf("unknown figure %q (valid: %s)", id, strings.Join(validFigs, ", "))
 	}
 	return nil
+}
+
+// validFigs lists every -fig name run() accepts, for the unknown-name
+// error and the "all" batch above.
+var validFigs = []string{
+	"2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13",
+	"14", "15", "16", "17", "18", "19", "20", "21", "22",
+	"ablation", "equilibrium", "lte", "fetch", "cellular", "satellite", "incast",
 }
 
 // emit prints a table and, when -csv is set, writes it alongside.

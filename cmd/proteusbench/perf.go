@@ -10,9 +10,12 @@ import (
 	"testing"
 	"time"
 
+	"pccproteus/internal/cc/bbr2"
 	"pccproteus/internal/engine"
 	"pccproteus/internal/fetch"
+	"pccproteus/internal/pathmodel"
 	"pccproteus/internal/sim"
+	"pccproteus/internal/transport"
 	"pccproteus/internal/wire"
 )
 
@@ -101,6 +104,39 @@ func benchAckCodec(b *testing.B) {
 	}
 }
 
+// benchPathmodelSteps measures compiling one minute of a bundled LTE
+// trace into the deduplicated step schedule both appliers replay —
+// the per-run setup cost of every pathmodel-driven scenario.
+func benchPathmodelSteps(b *testing.B) {
+	m := pathmodel.GenLTE(1, 60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if steps := pathmodel.Steps(m, 60); len(steps) == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+// benchBBR2Step measures the bbr2 controller's per-ack hot path: one
+// OnSend + OnAck round trip with the delivery-rate sampler engaged.
+func benchBBR2Step(b *testing.B) {
+	cc := bbr2.New()
+	const rtt = 0.03
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := float64(i) * 0.001
+		pkt := transport.SentPacket{Seq: int64(i), Size: 1200, SentAt: now}
+		cc.OnSend(now, &pkt)
+		cc.OnAck(transport.Ack{
+			Seq: int64(i), Bytes: 1200, SentAt: now,
+			RecvAt: now + rtt/2, Now: now + rtt, RTT: rtt,
+			Inflight: 24000,
+		})
+	}
+}
+
 // ppsFlows and ppsWindow size the engine-vs-legacy aggregate
 // throughput comparison: 1k concurrent fixed-rate flows, each path
 // measured over the same steady-state window.
@@ -168,6 +204,8 @@ func runPerf(w io.Writer, outPath string) error {
 		{"wire_ack_process", wire.RunAckBench},
 		{"fetch_goodput", fetch.RunFetchBench},
 		{"engine_hotpath", engine.RunHotpathBench},
+		{"pathmodel_steps", benchPathmodelSteps},
+		{"bbr2_step", benchBBR2Step},
 	}
 	rep := perfReport{
 		Schema:     "proteusbench-perf/v1",

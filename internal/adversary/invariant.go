@@ -226,8 +226,10 @@ func (progressChecker) Check(rc *RunContext) Verdict {
 	for lo := int(sc.Warmup); lo+progressWin <= len(rc.TargetMbps); lo += progressWin / 2 {
 		// A window a blackout touches (plus the watchdog's settling
 		// time) is excused: the path was destroyed, and not sending is
-		// the survival machinery working, not a stall.
-		if rc.Schedule.blackoutOverlaps(float64(lo), float64(lo+progressWin)) {
+		// the survival machinery working, not a stall. Path-model outage
+		// windows (satellite handovers) get the identical grace.
+		if rc.Schedule.blackoutOverlaps(float64(lo), float64(lo+progressWin)) ||
+			sc.outageOverlaps(float64(lo), float64(lo+progressWin)) {
 			continue
 		}
 		tput := meanOver(rc.TargetMbps, lo, lo+progressWin)

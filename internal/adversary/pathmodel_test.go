@@ -1,0 +1,96 @@
+package adversary
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"pccproteus/internal/pathmodel"
+)
+
+// modelScenario is testScenario over a LEO path model whose handover
+// outage (at ≈19.8 s with a 20 s period) lands inside the run.
+func modelScenario(proto string) Scenario {
+	sc := testScenario(proto)
+	sc.PathModel = &pathmodel.Spec{Kind: "leo", PeriodS: 20}
+	return sc
+}
+
+// TestRunWithPathModel runs a target over a model-driven base path and
+// checks the integration: the run is deterministic, the envelope
+// functions track the model, the handover merged into the fault plan
+// (progress must excuse the outage window), and throughput is alive on
+// both sides of the blackout.
+func TestRunWithPathModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulated run")
+	}
+	sc := modelScenario("proteus-p")
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rc := Run(sc, Schedule{}, 1)
+	for _, v := range CheckAll(rc) {
+		if v.Violated() {
+			t.Errorf("clean model run violates %s: %s", v.Invariant, v)
+		}
+	}
+	if m := meanOver(rc.TargetMbps, 5, 18); m < 1 {
+		t.Fatalf("pre-handover throughput %.3f Mbps, want alive", m)
+	}
+	if m := meanOver(rc.TargetMbps, 25, 40); m < 1 {
+		t.Fatalf("post-handover throughput %.3f Mbps, want alive", m)
+	}
+	again := Run(sc, Schedule{}, 1)
+	if !reflect.DeepEqual(rc.TargetMbps, again.TargetMbps) {
+		t.Fatal("model run not deterministic at a fixed seed")
+	}
+}
+
+// TestModelEnvelopeFunctions: RateAt/DelayAt must compose the model's
+// base prescription with schedule perturbations, and the model outage
+// must register with outageOverlaps.
+func TestModelEnvelopeFunctions(t *testing.T) {
+	sc := modelScenario("cubic").withModel()
+	sch := Schedule{Segments: []Segment{
+		{Kind: KindBWStep, At: 12, Dur: 5, Factor: 0.5},
+	}}.Canonical(sc)
+
+	for _, tt := range []float64{5, 13, 25} {
+		base := sc.baseMbpsAt(tt)
+		want := base
+		if tt >= 12 && tt < 17 {
+			want = base * 0.5
+		}
+		if got := sch.RateAt(sc, tt); math.Abs(got-want) > 1e-9 {
+			t.Errorf("RateAt(%g) = %g, want %g (base %g)", tt, got, want, base)
+		}
+		if d := sch.DelayAt(sc, tt); d < sc.RTT/2 {
+			t.Errorf("DelayAt(%g) = %g below static base", tt, d)
+		}
+	}
+	// The LEO outage covers the tail of the 20 s pass.
+	if !sc.outageOverlaps(19, 21) {
+		t.Error("handover outage not visible to outageOverlaps")
+	}
+	if sc.outageOverlaps(2, 10) {
+		t.Error("phantom outage in a clean window")
+	}
+	if testScenario("cubic").outageOverlaps(0, 45) {
+		t.Error("model-free scenario reports an outage")
+	}
+}
+
+// TestValidateRejectsBadModel: a broken model spec must fail Validate,
+// and the replay loader must therefore refuse such a counterexample.
+func TestValidateRejectsBadModel(t *testing.T) {
+	sc := testScenario("cubic")
+	sc.PathModel = &pathmodel.Spec{Kind: "warp-drive"}
+	if err := sc.Validate(); err == nil {
+		t.Fatal("unknown model kind accepted")
+	}
+	sc.PathModel = &pathmodel.Spec{Kind: "trace"}
+	if err := sc.Validate(); err == nil {
+		t.Fatal("trace model without a path accepted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"pccproteus/internal/core"
 	"pccproteus/internal/exp"
 	"pccproteus/internal/netem"
+	"pccproteus/internal/pathmodel"
 	"pccproteus/internal/sim"
 	"pccproteus/internal/trace"
 	"pccproteus/internal/transport"
@@ -30,6 +31,89 @@ type Scenario struct {
 	BufBytes int     `json:"buf_bytes"`
 	Duration float64 `json:"duration"`
 	Warmup   float64 `json:"warmup"`
+
+	// PathModel, when set, makes the base path itself time-varying: the
+	// model's capacity/delay schedule underlies every perturbation (a
+	// bw-step multiplies the model's capacity at that instant, and the
+	// invariant envelope functions track the same arithmetic), and the
+	// model's outage windows merge into the run's chaos fault plan. A
+	// zero model seed pins seed 1 so counterexamples replay bit-exactly
+	// regardless of the hunt seed. Model-free scenarios are bit-identical
+	// to runs from before this field existed.
+	PathModel *pathmodel.Spec `json:"path_model,omitempty"`
+
+	// model is the built PathModel, cached by withModel so hunts don't
+	// rebuild (or re-read a trace file) on every envelope sample.
+	model pathmodel.Model
+}
+
+// withModelErr returns sc with its path model built, validated, and
+// cached; a nil PathModel or an already-built model is a no-op.
+func (sc Scenario) withModelErr() (Scenario, error) {
+	if sc.PathModel == nil || sc.model != nil {
+		return sc, nil
+	}
+	ps := *sc.PathModel
+	if ps.Seed == 0 {
+		ps.Seed = 1 // replay determinism: never derive from the hunt seed
+	}
+	m, err := ps.Build(sc.Duration)
+	if err != nil {
+		return sc, err
+	}
+	if err := pathmodel.Validate(m, sc.Duration); err != nil {
+		return sc, err
+	}
+	sc.model = m
+	return sc, nil
+}
+
+// withModel is withModelErr for contexts past the Validate boundary,
+// where a build failure is a programming error.
+func (sc Scenario) withModel() Scenario {
+	out, err := sc.withModelErr()
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// baseMbpsAt returns the unperturbed path capacity at t: the static
+// link rate, or the path model's (floor-clamped) prescription.
+func (sc Scenario) baseMbpsAt(t float64) float64 {
+	if sc.model == nil {
+		return sc.LinkMbps
+	}
+	return pathmodel.ClampMbps(sc.model.StateAt(t).Mbps)
+}
+
+// baseDelayAt returns the unperturbed one-way delay at t: the static
+// half-RTT plus whatever extra delay the path model prescribes.
+func (sc Scenario) baseDelayAt(t float64) float64 {
+	d := sc.RTT / 2
+	if sc.model != nil {
+		d += sc.model.StateAt(t).ExtraDelay
+	}
+	return d
+}
+
+// outageOverlaps reports whether a path-model outage window — plus the
+// same post-heal settling grace blackout segments get — overlaps
+// [a, b). Model-free scenarios never overlap.
+func (sc Scenario) outageOverlaps(a, b float64) bool {
+	if sc.model == nil {
+		return false
+	}
+	plan, ok := pathmodel.FaultPlan(sc.model, sc.Duration)
+	if !ok {
+		return false
+	}
+	for _, f := range plan.Faults {
+		if f.At < b && f.At+f.Dur+blackoutSettle > a {
+			return true
+		}
+	}
+	return false
 }
 
 // DefaultScenario returns the standard hunting ground for proto: a
@@ -57,8 +141,12 @@ func DefaultScenario(proto string, fast bool) Scenario {
 func (sc Scenario) maxSegEnd() float64 { return sc.Duration - RecoveryT - recoveryWindow }
 
 func (sc Scenario) String() string {
-	return fmt.Sprintf("%s on %.0fMbps/%.0fms/%dKB, %.0fs (warmup %.0fs)",
+	s := fmt.Sprintf("%s on %.0fMbps/%.0fms/%dKB, %.0fs (warmup %.0fs)",
 		sc.Proto, sc.LinkMbps, sc.RTT*1000, sc.BufBytes/1000, sc.Duration, sc.Warmup)
+	if sc.PathModel != nil {
+		s += " over " + sc.PathModel.Kind + " path model"
+	}
+	return s
 }
 
 // Validate checks the scenario is runnable (known protocol, sane
@@ -70,6 +158,9 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.LinkMbps <= 0 || sc.RTT <= 0 || sc.BufBytes <= 0 {
 		return fmt.Errorf("adversary: scenario needs positive link parameters")
+	}
+	if _, err := sc.withModelErr(); err != nil {
+		return err
 	}
 	return probeProto(sc.Proto)
 }
@@ -143,6 +234,7 @@ var adversaryMask = trace.MaskOf(trace.KindMIDecision, trace.KindRateChange,
 // RunContext, which is what makes hunts parallelizable and
 // counterexamples replayable.
 func Run(sc Scenario, schedule Schedule, seed int64) *RunContext {
+	sc = sc.withModel()
 	schedule = schedule.Canonical(sc)
 	s := sim.New(seed)
 	rec := trace.NewRecorder(trace.Options{Mask: adversaryMask, FlowCap: 1 << 16})
@@ -150,6 +242,14 @@ func Run(sc Scenario, schedule Schedule, seed int64) *RunContext {
 
 	link := netem.NewLink(s, sc.LinkMbps, sc.BufBytes, sc.RTT/2)
 	path := &netem.Path{Link: link, AckDelay: sc.RTT / 2}
+	if sc.model != nil {
+		// The model prescribes the path from t=0; the schedule's apply
+		// boundaries (which include every model step) keep it current.
+		link.SetRateMbps(schedule.RateAt(sc, 0))
+		if err := link.SetPropDelay(schedule.DelayAt(sc, 0)); err != nil {
+			panic(err)
+		}
+	}
 
 	var hybridTau float64
 	var cc transport.Controller
@@ -165,7 +265,16 @@ func Run(sc Scenario, schedule Schedule, seed int64) *RunContext {
 	// the senders run with the survival machinery armed: fault-free
 	// schedules stay bit-identical to runs from before the chaos
 	// subsystem existed, which keeps the golden counterexamples valid.
+	// A path model's outage windows join the plan the same way, so a
+	// handover micro-blackout arms survival exactly like an adversarial
+	// blackout segment.
 	faultPlan, hasFaults := schedule.FaultPlan()
+	if sc.model != nil {
+		if mp, ok := pathmodel.FaultPlan(sc.model, sc.Duration); ok {
+			faultPlan = pathmodel.MergePlans(faultPlan, mp)
+			hasFaults = true
+		}
+	}
 
 	target := transport.NewSender(1, path, cc)
 	target.Burst = exp.BurstFor(sc.Proto)

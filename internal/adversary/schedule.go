@@ -29,6 +29,7 @@ import (
 
 	"pccproteus/internal/chaos"
 	"pccproteus/internal/netem"
+	"pccproteus/internal/pathmodel"
 	"pccproteus/internal/sim"
 )
 
@@ -294,9 +295,10 @@ func clamp(x, lo, hi float64) float64 {
 // experienced — by construction, not by bookkeeping.
 
 // RateAt returns the link capacity in Mbps at time t: the base rate
-// multiplied by every active bandwidth segment's factor.
+// (static, or the path model's prescription at t) multiplied by every
+// active bandwidth segment's factor.
 func (s Schedule) RateAt(sc Scenario, t float64) float64 {
-	r := sc.LinkMbps
+	r := sc.baseMbpsAt(t)
 	for _, g := range s.Segments {
 		if !g.activeAt(t) {
 			continue
@@ -332,9 +334,10 @@ func (s Schedule) LossAt(t float64) float64 {
 }
 
 // DelayAt returns the one-way propagation delay at time t: the base
-// plus every active delay spike.
+// (including any path-model extra delay) plus every active delay
+// spike.
 func (s Schedule) DelayAt(sc Scenario, t float64) float64 {
-	d := sc.RTT / 2
+	d := sc.baseDelayAt(t)
 	extra := 0.0
 	for _, g := range s.Segments {
 		if g.Kind == KindDelaySpike && g.activeAt(t) {
@@ -441,6 +444,13 @@ func (s Schedule) apply(sm *sim.Sim, sc Scenario, link *netem.Link, spawnFlow fu
 	addB := func(t float64) {
 		if t > 0 && t <= sc.Duration {
 			boundaries[t] = struct{}{}
+		}
+	}
+	// A path model makes the base itself time-varying: every model step
+	// is a change boundary, whether or not a segment is active there.
+	if sc.model != nil {
+		for _, st := range pathmodel.Steps(sc.model, sc.Duration) {
+			addB(st.At)
 		}
 	}
 	flowIdx := 0

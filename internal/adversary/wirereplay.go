@@ -10,6 +10,7 @@ import (
 	"pccproteus/internal/chaos"
 	"pccproteus/internal/core"
 	"pccproteus/internal/exp"
+	"pccproteus/internal/pathmodel"
 	"pccproteus/internal/transport"
 	"pccproteus/internal/wire"
 )
@@ -64,7 +65,7 @@ func (w *WireReplay) OK() bool { return len(w.Violations) == 0 }
 // through exactly the sequence of operating points the sim run did.
 // Flow segments have no wire equivalent and are counted, not applied.
 func WireSchedule(ce *Counterexample) (updates []wire.ShimUpdate, timeScale float64, skippedFlows int) {
-	sc := ce.Scenario
+	sc := ce.Scenario.withModel()
 	sch := ce.Schedule.Canonical(sc)
 	timeScale = sc.Duration / wireReplayDur
 	if timeScale < 1 {
@@ -74,6 +75,14 @@ func WireSchedule(ce *Counterexample) (updates []wire.ShimUpdate, timeScale floa
 	add := func(t float64) {
 		if t > 0 && t <= sc.Duration {
 			boundaries[t] = struct{}{}
+		}
+	}
+	// Path-model steps are change boundaries exactly as in the sim
+	// applier, so the compressed wire schedule walks the same operating
+	// points.
+	if sc.model != nil {
+		for _, st := range pathmodel.Steps(sc.model, sc.Duration) {
+			add(st.At)
 		}
 	}
 	for _, g := range sch.Segments {
@@ -117,6 +126,7 @@ func ReplayWire(ce *Counterexample) (*WireReplay, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	sc = sc.withModel()
 	updates, timeScale, skipped := WireSchedule(ce)
 	w := &WireReplay{
 		Scenario: sc, TimeScale: timeScale,
@@ -126,7 +136,14 @@ func ReplayWire(ce *Counterexample) (*WireReplay, error) {
 	// the schedule's chaos plan, scaled onto wire time, replays through
 	// the loopback harness's chaos executor.
 	var chaosPlan *chaos.Plan
-	if plan, ok := ce.Schedule.Canonical(sc).FaultPlan(); ok {
+	plan, ok := ce.Schedule.Canonical(sc).FaultPlan()
+	if sc.model != nil {
+		if mp, mok := pathmodel.FaultPlan(sc.model, sc.Duration); mok {
+			plan = pathmodel.MergePlans(plan, mp)
+			ok = true
+		}
+	}
+	if ok {
 		scaled := plan.Scale(timeScale)
 		chaosPlan = &scaled
 		w.FaultPlan = &scaled

@@ -22,6 +22,9 @@ import (
 	"math/rand"
 	"os"
 
+	"pccproteus/internal/chaos"
+	"pccproteus/internal/netem"
+	"pccproteus/internal/pathmodel"
 	"pccproteus/internal/sim"
 	"pccproteus/internal/stats"
 	"pccproteus/internal/transport"
@@ -99,6 +102,22 @@ func (s Spec) validate() error {
 		if t.Weight < 0 {
 			return fmt.Errorf("campaign: negative topology weight %g", t.Weight)
 		}
+		if t.PathModel != nil {
+			// Build once with a fixed probe seed: catches unknown kinds,
+			// missing trace files, and parse errors before any scenario
+			// runs, so a 100k-scenario campaign cannot die halfway in.
+			probe := *t.PathModel
+			if probe.Seed == 0 {
+				probe.Seed = 1
+			}
+			m, err := probe.Build(s.Duration)
+			if err != nil {
+				return err
+			}
+			if err := pathmodel.Validate(m, s.Duration); err != nil {
+				return err
+			}
+		}
 	}
 	if len(s.Pop.Mix) == 0 {
 		return errors.New("campaign: empty controller mix")
@@ -163,7 +182,35 @@ func runScenario(spec Spec, idx int, factory Factory) *Aggregate {
 	s := sim.New(seed)
 	rng := s.Rand()
 
-	topo := buildTopology(s, pickTopology(spec.Topology, rng), rng)
+	ts := pickTopology(spec.Topology, rng)
+	topo := buildTopology(s, ts, rng)
+	survival := false
+	if ts.PathModel != nil {
+		ps := *ts.PathModel
+		if ps.Seed == 0 {
+			ps.Seed = seed // fresh trace per scenario
+		}
+		m, err := ps.Build(spec.Duration)
+		if err == nil {
+			err = pathmodel.ApplySim(s, topo.bottleneck, m, spec.Duration)
+		}
+		if err != nil {
+			// validate() already built this spec once; failing here means
+			// the environment changed mid-campaign (e.g. the trace file
+			// vanished), which no aggregate can honestly absorb.
+			panic(err)
+		}
+		if plan, ok := pathmodel.FaultPlan(m, spec.Duration); ok {
+			// Outage windows ride the chaos executor. Blackout faults act
+			// through the shared link, so the path argument (which chaos
+			// writes ack-fault fields into) can be a throwaway.
+			chaos.ApplySim(s, topo.bottleneck, &netem.Path{Link: topo.bottleneck}, plan, spec.Duration)
+			survival = true
+		}
+		// The bottleneck's capacity is now time-varying: the utilization
+		// and yield denominator is the model's time-weighted mean.
+		topo.capacity = pathmodel.MeanMbps(m, spec.Duration) * 1e6 / 8
+	}
 	agg := newAggregate()
 	agg.Scenarios = 1
 
@@ -208,6 +255,7 @@ func runScenario(spec Spec, idx int, factory Factory) *Aggregate {
 		fs := &flowState{proto: proto, scav: IsScavenger(proto), size: int64(size), start: now}
 		snd := transport.NewSender(len(flows)+1, topo.assign(rng), factory(rng, proto))
 		snd.Limit = fs.size
+		snd.Survival = survival // outage machinery only when the model has outages
 		snd.OnComplete = func(at float64) { complete(fs, at) }
 		fs.snd = snd
 		flows = append(flows, fs)

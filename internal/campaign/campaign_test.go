@@ -8,6 +8,7 @@ import (
 
 	"pccproteus/internal/campaign"
 	"pccproteus/internal/exp"
+	"pccproteus/internal/pathmodel"
 )
 
 // testSpec is a small but non-trivial campaign: all three topology
@@ -188,5 +189,58 @@ func TestCampaignGolden(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatalf("smoke aggregate deviates from golden (UPDATE_GOLDEN=1 to refresh):\n%s", got)
+	}
+}
+
+// TestCampaignPathModel drives campaign bottlenecks with path models —
+// cellular fading on one topology family, LEO handover outages on the
+// other — and checks the integration end to end: flows complete under
+// the time-varying bottleneck, every scenario still contributes one
+// utilization sample against the model's mean capacity, and the
+// aggregate stays byte-identical across worker counts.
+func TestCampaignPathModel(t *testing.T) {
+	spec := testSpec()
+	spec.Scenarios = 8
+	spec.Duration = 10
+	spec.Topology = []campaign.TopologySpec{
+		{Kind: campaign.TopoDumbbell, Weight: 1,
+			PathModel: &pathmodel.Spec{Kind: "lte"}},
+		{Kind: campaign.TopoSharedUplink, Weight: 1,
+			PathModel: &pathmodel.Spec{Kind: "leo", PeriodS: 5}},
+	}
+	agg, err := campaign.Run(spec, campaign.RunOpts{NewController: exp.NewControllerRNG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Flows == 0 || agg.Completed == 0 {
+		t.Fatalf("flows=%d completed=%d under path models", agg.Flows, agg.Completed)
+	}
+	if agg.Utilization.Count != agg.Scenarios {
+		t.Fatalf("utilization samples %d, want %d", agg.Utilization.Count, agg.Scenarios)
+	}
+	if agg.Utilization.Mean <= 0 {
+		t.Fatalf("mean utilization %v, want > 0", agg.Utilization.Mean)
+	}
+	want := runJSON(t, spec, 1)
+	for _, workers := range []int{4} {
+		if got := runJSON(t, spec, workers); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d path-model aggregate differs from sequential run", workers)
+		}
+	}
+}
+
+// TestCampaignRejectsBadPathModel: a broken model spec must fail at
+// validation, before any scenario runs.
+func TestCampaignRejectsBadPathModel(t *testing.T) {
+	for _, bad := range []*pathmodel.Spec{
+		{Kind: "warp-drive"},
+		{Kind: "trace"}, // no file
+		{Kind: "trace", Path: filepath.Join(t.TempDir(), "missing.csv")},
+	} {
+		spec := testSpec()
+		spec.Topology = []campaign.TopologySpec{{Kind: campaign.TopoDumbbell, PathModel: bad}}
+		if _, err := campaign.Run(spec, campaign.RunOpts{NewController: exp.NewControllerRNG}); err == nil {
+			t.Fatalf("bad path model %+v accepted", *bad)
+		}
 	}
 }

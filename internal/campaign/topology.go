@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"pccproteus/internal/netem"
+	"pccproteus/internal/pathmodel"
 	"pccproteus/internal/sim"
 )
 
@@ -59,6 +60,14 @@ type TopologySpec struct {
 	// Shared-uplink only: access-link count and capacity range.
 	Uplinks    int   `json:"uplinks"`
 	UplinkMbps Range `json:"uplink_mbps"`
+
+	// PathModel, when set, drives the topology's reference bottleneck
+	// with a time-varying path model (lte, 5g, leo, trace) for the whole
+	// scenario: capacity/delay steps through the hardened netem setters,
+	// outage windows as chaos blackouts. A zero model seed draws a fresh
+	// trace per scenario from the scenario seed; a fixed seed replays the
+	// same trace in every scenario of the mix.
+	PathModel *pathmodel.Spec `json:"path_model,omitempty"`
 }
 
 func (t TopologySpec) withDefaults() TopologySpec {
@@ -95,10 +104,12 @@ func pickTopology(specs []TopologySpec, rng *rand.Rand) TopologySpec {
 
 // topology is a built scenario substrate: assign hands each new flow a
 // path through it, capacity is the reference bottleneck in bytes/sec
-// (the denominator of utilization and scavenger yield).
+// (the denominator of utilization and scavenger yield), and bottleneck
+// is the link a path model drives when the spec carries one.
 type topology struct {
-	capacity float64
-	assign   func(rng *rand.Rand) *netem.Path
+	capacity   float64
+	bottleneck *netem.Link
+	assign     func(rng *rand.Rand) *netem.Path
 }
 
 // newLink builds a link with the buffer sized in BDP multiples of this
@@ -133,16 +144,17 @@ func buildTopology(s *sim.Sim, ts TopologySpec, rng *rand.Rand) topology {
 		// splitting the forward propagation delay evenly.
 		k := ts.Segments
 		segs := make([]*netem.Link, k)
-		minRate := 0.0
+		var minLink *netem.Link
 		for i := range segs {
 			m := mbps * (0.8 + 0.4*rng.Float64())
 			segs[i] = newLink(s, m, rtt/float64(k), bufBDP, loss)
-			if r := segs[i].Rate; i == 0 || r < minRate {
-				minRate = r
+			if minLink == nil || segs[i].Rate < minLink.Rate {
+				minLink = segs[i]
 			}
 		}
 		return topology{
-			capacity: minRate,
+			capacity:   minLink.Rate,
+			bottleneck: minLink,
 			assign: func(rng *rand.Rand) *netem.Path {
 				p := &netem.Path{AckDelay: ackDelayFor(rng, rtt/2)}
 				if rng.Float64() < 0.5 {
@@ -165,7 +177,8 @@ func buildTopology(s *sim.Sim, ts TopologySpec, rng *rand.Rand) topology {
 			access[i] = newLink(s, upRange.sample(rng), rtt*0.25, bufBDP, 0)
 		}
 		return topology{
-			capacity: shared.Rate,
+			capacity:   shared.Rate,
+			bottleneck: shared,
 			assign: func(rng *rand.Rand) *netem.Path {
 				return &netem.Path{
 					Link:     access[rng.Intn(len(access))],
@@ -178,7 +191,8 @@ func buildTopology(s *sim.Sim, ts TopologySpec, rng *rand.Rand) topology {
 	default: // TopoDumbbell
 		link := newLink(s, mbps, rtt, bufBDP, loss)
 		return topology{
-			capacity: link.Rate,
+			capacity:   link.Rate,
+			bottleneck: link,
 			assign: func(rng *rand.Rand) *netem.Path {
 				return &netem.Path{Link: link, AckDelay: ackDelayFor(rng, rtt/2)}
 			},

@@ -16,6 +16,7 @@ import (
 	"pccproteus/internal/campaign"
 	"pccproteus/internal/cc/allegro"
 	"pccproteus/internal/cc/bbr"
+	"pccproteus/internal/cc/bbr2"
 	"pccproteus/internal/cc/copa"
 	"pccproteus/internal/cc/cubic"
 	"pccproteus/internal/cc/fixedrate"
@@ -37,6 +38,7 @@ const (
 	ProtoCubic    = "cubic"
 	ProtoBBR      = "bbr"
 	ProtoBBRS     = "bbr-s"
+	ProtoBBR2     = "bbr2"
 	ProtoCopa     = "copa"
 	ProtoLEDBAT   = "ledbat"
 	ProtoLEDBAT25 = "ledbat-25"
@@ -76,6 +78,8 @@ func NewControllerRNG(rng *rand.Rand, name string) transport.Controller {
 		return bbr.New()
 	case ProtoBBRS:
 		return bbr.NewScavenger()
+	case ProtoBBR2:
+		return bbr2.New()
 	case ProtoCopa:
 		return copa.New()
 	case ProtoLEDBAT:

@@ -1,0 +1,504 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pccproteus/internal/chaos"
+	"pccproteus/internal/pathmodel"
+	"pccproteus/internal/sim"
+	"pccproteus/internal/stats"
+	"pccproteus/internal/transport"
+	"pccproteus/internal/wire"
+)
+
+// ---------------------------------------------------------------------
+// Extension: pathmodel-driven scenarios (cellular, LEO satellite,
+// datacenter incast). These figures run the same controllers on the
+// composable time-varying path models of internal/pathmodel — the
+// trace-driven LTE/5G channels, the periodic LEO constellation with
+// handover micro-blackouts, and the synchronized incast fan-in — the
+// environments §7.2 names beyond the paper's static-bottleneck grid.
+// ---------------------------------------------------------------------
+
+// cellularLink is the base path under a cellular model: the model
+// rewrites capacity (and extra delay) from t=0, so only the RTT and
+// buffer here matter.
+func cellularLink(model string) LinkSpec {
+	if model == "5g" {
+		// mmWave-class: short RTT, buffer sized for the LoS rate.
+		return LinkSpec{Mbps: 190, RTT: 0.020, BufBytes: 950_000}
+	}
+	return LinkSpec{Mbps: 25, RTT: 0.050, BufBytes: 600_000}
+}
+
+// pathRun is runTraced on a model-driven bottleneck: the model's
+// rate/delay schedule is applied through the hardened netem setters,
+// its outage windows (if any) through a chaos blackout plan, and every
+// sender runs with the survival machinery armed whenever the model can
+// black out the path.
+func pathRun(tc *Tracing, scenario string, seed int64, m pathmodel.Model, link LinkSpec, flows []FlowSpec, measureFrom, duration float64) ([]FlowResult, error) {
+	s := sim.New(seed)
+	flush := tc.attach(s, scenario, flows)
+	path := link.Build(s)
+	if err := pathmodel.ApplySim(s, path.Link, m, duration); err != nil {
+		return nil, err
+	}
+	plan, hasFaults := pathmodel.FaultPlan(m, duration)
+	if hasFaults {
+		chaos.ApplySim(s, path.Link, path, plan, duration)
+	}
+	senders := make([]*transport.Sender, len(flows))
+	for i, f := range flows {
+		cc := NewController(s, f.Proto)
+		snd := transport.NewSender(i+1, path, cc)
+		snd.Burst = BurstFor(f.Proto)
+		snd.RecordRTT = true
+		snd.Survival = hasFaults
+		senders[i] = snd
+		if f.StartAt <= 0 {
+			snd.Start()
+		} else {
+			at := f.StartAt
+			s.At(at, func() { snd.Start() })
+		}
+	}
+	marks := make([]int64, len(flows))
+	s.At(measureFrom, func() {
+		for i, snd := range senders {
+			marks[i] = snd.AckedBytes()
+		}
+	})
+	s.Run(duration)
+	flush()
+	out := make([]FlowResult, len(flows))
+	for i, snd := range senders {
+		out[i] = FlowResult{
+			Proto:      flows[i].Proto,
+			Mbps:       float64(snd.AckedBytes()-marks[i]) * 8 / (duration - measureFrom) / 1e6,
+			RTTSamples: snd.RTTSamples(),
+		}
+	}
+	return out, nil
+}
+
+// CellularSolo runs each protocol alone on a trace-driven cellular
+// channel (model "lte" or "5g", regenerated per trial seed) and
+// reports throughput and 95th-percentile RTT.
+func CellularSolo(o Options, protocols []string, model string) (*Table, error) {
+	o = o.withDefaults()
+	if protocols == nil {
+		protocols = append(append([]string{}, AllSingle...), ProtoBBR2)
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Cellular (%s trace model): solo flows", model),
+		XLabel:  "protocol",
+		Columns: []string{"Mbps", "p95RTT(ms)"},
+	}
+	dur := o.Duration
+	link := cellularLink(model)
+	for _, proto := range protocols {
+		var tput, rtt float64
+		for tr := 0; tr < o.Trials; tr++ {
+			seed := o.seedFor(int64(tr + 1))
+			m, err := pathmodel.ByName(model, seed, dur)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := pathRun(o.Trace, fmt.Sprintf("cell_%s_%s_s%d", model, proto, tr+1),
+				seed, m, link, []FlowSpec{{Proto: proto}}, dur*0.2, dur)
+			if err != nil {
+				return nil, err
+			}
+			tput += rs[0].Mbps
+			rtt += rs[0].P95RTT()
+		}
+		n := float64(o.Trials)
+		t.Rows = append(t.Rows, TableRow{XName: proto, Cells: []float64{tput / n, rtt * 1000 / n}})
+	}
+	return t, nil
+}
+
+// CellularYield measures scavenger yielding on the cellular channel:
+// each primary runs solo and then with a Proteus-S scavenger joining
+// at 10% of the run, reporting the primary's retained share and the
+// scavenger's take.
+func CellularYield(o Options, model string) (*Table, error) {
+	o = o.withDefaults()
+	primaries := []string{ProtoCubic, ProtoBBR, ProtoBBR2, ProtoCopa, ProtoProteusP}
+	t := &Table{
+		Title:   fmt.Sprintf("Cellular (%s trace model): primary + Proteus-S scavenger", model),
+		XLabel:  "primary",
+		Columns: []string{"solo Mbps", "shared Mbps", "yield%", "scav Mbps"},
+	}
+	dur := o.Duration
+	link := cellularLink(model)
+	for _, primary := range primaries {
+		var solo, shared, scav float64
+		for tr := 0; tr < o.Trials; tr++ {
+			seed := o.seedFor(int64(tr + 1))
+			m, err := pathmodel.ByName(model, seed, dur)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := pathRun(o.Trace, fmt.Sprintf("cellyield_%s_%s_solo_s%d", model, primary, tr+1),
+				seed, m, link, []FlowSpec{{Proto: primary}}, dur*0.2, dur)
+			if err != nil {
+				return nil, err
+			}
+			solo += rs[0].Mbps
+			rs, err = pathRun(o.Trace, fmt.Sprintf("cellyield_%s_%s_scav_s%d", model, primary, tr+1),
+				seed, m, link,
+				[]FlowSpec{{Proto: primary}, {Proto: ProtoProteusS, StartAt: dur * 0.1}},
+				dur*0.2, dur)
+			if err != nil {
+				return nil, err
+			}
+			shared += rs[0].Mbps
+			scav += rs[1].Mbps
+		}
+		n := float64(o.Trials)
+		yield := nan()
+		if solo > 0 {
+			yield = shared / solo * 100
+		}
+		t.Rows = append(t.Rows, TableRow{XName: primary,
+			Cells: []float64{solo / n, shared / n, yield, scav / n}})
+	}
+	return t, nil
+}
+
+// satellitePre/Post describe the survival gate around one LEO
+// handover at second h (outage tail of the pass, healing at h+0.15):
+// pre is the best of the two full seconds before the outage, post the
+// best of the three seconds after healing — the same ≥80%-within-3s
+// gate the chaos blackout tests apply.
+const satelliteRecoverFrac = 0.8
+
+// SatelliteSurvival runs each protocol through the LEO constellation
+// model — periodic capacity/delay passes with a handover micro-
+// blackout every period — and reports overall throughput plus the
+// handover-survival gate: worst-case post/pre recovery across the
+// run's handovers, and the fraction of trials where every handover
+// recovered to ≥80% within 3 s.
+func SatelliteSurvival(o Options, protocols []string) (*Table, error) {
+	o = o.withDefaults()
+	if protocols == nil {
+		protocols = []string{ProtoProteusS, ProtoProteusP, ProtoBBR2, ProtoBBR, ProtoCubic}
+	}
+	t := &Table{
+		Title:   "LEO satellite: throughput across handover micro-blackouts",
+		XLabel:  "protocol",
+		Columns: []string{"Mbps", "pre Mbps", "post Mbps", "recov%", "surv%"},
+	}
+	// Two full handovers (t≈14.85 and t≈29.85 at the default 15 s
+	// period) plus recovery room.
+	const dur = 45.0
+	for _, proto := range protocols {
+		var mbps, pre, post, recov, surv float64
+		for tr := 0; tr < o.Trials; tr++ {
+			seed := o.seedFor(int64(tr + 1))
+			r, err := satelliteTrial(o.Trace, fmt.Sprintf("sat_%s_s%d", proto, tr+1), seed, proto, dur)
+			if err != nil {
+				return nil, err
+			}
+			mbps += r.mbps
+			pre += r.pre
+			post += r.post
+			recov += r.recov
+			if r.survived {
+				surv++
+			}
+		}
+		n := float64(o.Trials)
+		t.Rows = append(t.Rows, TableRow{XName: proto,
+			Cells: []float64{mbps / n, pre / n, post / n, recov * 100 / n, surv * 100 / n}})
+	}
+	return t, nil
+}
+
+type satelliteResult struct {
+	mbps, pre, post, recov float64
+	survived               bool
+}
+
+// satelliteTrial runs one protocol once on the LEO model with
+// per-second throughput sampling and evaluates the handover gate.
+func satelliteTrial(tc *Tracing, scenario string, seed int64, proto string, dur float64) (satelliteResult, error) {
+	m := pathmodel.DefaultLEO(seed)
+	s := sim.New(seed)
+	flows := []FlowSpec{{Proto: proto}}
+	flush := tc.attach(s, scenario, flows)
+	link := LinkSpec{Mbps: m.Mbps, RTT: 0.050, BufBytes: 1_125_000}
+	path := link.Build(s)
+	if err := pathmodel.ApplySim(s, path.Link, m, dur); err != nil {
+		return satelliteResult{}, err
+	}
+	plan, _ := pathmodel.FaultPlan(m, dur)
+	chaos.ApplySim(s, path.Link, path, plan, dur)
+
+	cc := NewController(s, proto)
+	snd := transport.NewSender(1, path, cc)
+	snd.Burst = BurstFor(proto)
+	snd.Survival = true
+
+	secs := int(dur)
+	perSec := make([]float64, secs)
+	var prev int64
+	for sec := 1; sec <= secs; sec++ {
+		sec := sec
+		s.At(float64(sec), func() {
+			acked := snd.AckedBytes()
+			perSec[sec-1] = float64(acked-prev) * 8 / 1e6
+			prev = acked
+		})
+	}
+	var mark int64
+	measureFrom := dur * 0.1
+	s.At(measureFrom, func() { mark = snd.AckedBytes() })
+	snd.Start()
+	s.Run(dur)
+	flush()
+
+	res := satelliteResult{
+		mbps:     float64(snd.AckedBytes()-mark) * 8 / (dur - measureFrom) / 1e6,
+		recov:    1,
+		survived: true,
+	}
+	// Gate every handover whose 3 s recovery window fits in the run.
+	// The recovery target is min(pre-handover rate, post-handover
+	// capacity): successive passes draw different capacities (±35%
+	// jitter), and no controller can restore a rate the new pass does
+	// not offer — but within what it offers, this is exactly the raw
+	// ≥80%-within-3s chaos gate.
+	for _, f := range plan.Faults {
+		heal := f.At + f.Dur
+		if int(f.At) < 2 || int(heal)+3 > secs {
+			continue
+		}
+		// Best of the two full seconds ending before the outage starts.
+		preSec := int(f.At) // the outage's covering second (0-indexed)
+		p := perSec[preSec-2]
+		if perSec[preSec-1] > p {
+			p = perSec[preSec-1]
+		}
+		// Best throughput — and best capacity — over the three seconds
+		// after healing.
+		q, postCap := 0.0, 0.0
+		for k := int(heal); k < int(heal)+3; k++ {
+			if perSec[k] > q {
+				q = perSec[k]
+			}
+			if c := pathmodel.ClampMbps(m.StateAt(float64(k) + 0.5).Mbps); c > postCap {
+				postCap = c
+			}
+		}
+		target := p
+		if postCap < target {
+			target = postCap
+		}
+		res.pre += p
+		res.post += q
+		ratio := 1.0
+		if target > 0 {
+			ratio = q / target
+		}
+		if ratio < res.recov {
+			res.recov = ratio
+		}
+		if q < satelliteRecoverFrac*target {
+			res.survived = false
+		}
+	}
+	if n := float64(len(plan.Faults)); n > 0 {
+		res.pre /= n
+		res.post /= n
+	}
+	return res, nil
+}
+
+// IncastFairness runs the synchronized incast wave: FanIn senders of
+// the same protocol release equal responses into the shallow-buffered
+// fan-in port at t=0, and the table reports aggregate goodput, Jain's
+// fairness over per-flow completion rates, and the p50/p99 flow
+// completion times.
+func IncastFairness(o Options, protocols []string) *Table {
+	o = o.withDefaults()
+	if protocols == nil {
+		protocols = []string{ProtoCubic, ProtoBBR, ProtoBBR2, ProtoCopa, ProtoProteusP, ProtoProteusS}
+	}
+	ic := pathmodel.Incast{}.WithDefaults()
+	t := &Table{
+		Title: fmt.Sprintf("Incast: %d synchronized senders, %d KiB responses, %d-packet buffer",
+			ic.FanIn, ic.Bytes>>10, ic.BufPkts),
+		XLabel:  "protocol",
+		Columns: []string{"goodput Mbps", "Jain", "p50 FCT(ms)", "p99 FCT(ms)"},
+	}
+	for _, proto := range protocols {
+		var goodput, jain, p50, p99 float64
+		for tr := 0; tr < o.Trials; tr++ {
+			g, j, f50, f99 := incastTrial(o.seedFor(int64(tr+1)), proto, ic)
+			goodput += g
+			jain += j
+			p50 += f50
+			p99 += f99
+		}
+		n := float64(o.Trials)
+		t.Rows = append(t.Rows, TableRow{XName: proto,
+			Cells: []float64{goodput / n, jain / n, p50 * 1000 / n, p99 * 1000 / n}})
+	}
+	return t
+}
+
+// incastTrial runs one synchronized wave and returns aggregate goodput
+// (total bytes over the wave's completion time), Jain's index over
+// per-flow completion rates, and the p50/p99 FCTs.
+func incastTrial(seed int64, proto string, ic pathmodel.Incast) (goodput, jain, p50, p99 float64) {
+	const timeout = 30.0
+	s := sim.New(seed)
+	path := ic.Build(s)
+	fcts := make([]float64, ic.FanIn)
+	for i := 0; i < ic.FanIn; i++ {
+		i := i
+		cc := NewController(s, proto)
+		snd := transport.NewSender(i+1, path, cc)
+		snd.Burst = BurstFor(proto)
+		snd.Limit = ic.Bytes
+		fcts[i] = timeout // overwritten on completion
+		snd.OnComplete = func(now float64) { fcts[i] = now }
+		snd.Start()
+	}
+	s.Run(timeout)
+	rates := make([]float64, ic.FanIn)
+	last := 0.0
+	for i, f := range fcts {
+		rates[i] = float64(ic.Bytes) / f
+		if f > last {
+			last = f
+		}
+	}
+	sorted := append([]float64(nil), fcts...)
+	sort.Float64s(sorted)
+	goodput = float64(int64(ic.FanIn)*ic.Bytes) * 8 / last / 1e6
+	jain = stats.JainIndex(rates)
+	p50 = stats.PercentileSorted(sorted, 50)
+	p99 = stats.PercentileSorted(sorted, 99)
+	return goodput, jain, p50, p99
+}
+
+// PathModelWireParity cross-validates a trace-driven model between
+// the two worlds: the same schedule drives the simulator link through
+// pathmodel.ApplySim and the UDP loopback shim through the compiled
+// ShimUpdates, and each protocol's throughput must agree within the
+// standard parity tolerance. A nil model selects the default parity
+// staircase — capacity and delay steps every few seconds, slow enough
+// that both domains' controllers converge between steps, so the gate
+// measures schedule-application parity rather than how a controller
+// chases 100 ms fades in real time versus virtual time.
+func PathModelWireParity(o WireParityOptions, m pathmodel.Model) (*WireParityResult, error) {
+	o.defaults()
+	if m == nil {
+		m = ParityStaircase(o.Mbps)
+	}
+	res := &WireParityResult{Opts: o}
+	for i, proto := range o.Protos {
+		seed := o.Seed + int64(i)
+		simMbps, simMean, simP95, simLoss, err := pathParitySim(seed, o, proto, m)
+		if err != nil {
+			return nil, fmt.Errorf("sim run %s: %w", proto, err)
+		}
+		plan, hasFaults := pathmodel.FaultPlan(m, o.Duration)
+		cfg := wire.LoopbackConfig{
+			NewController: func() transport.Controller {
+				return NewControllerRNG(rand.New(rand.NewSource(wire.MixSeed(seed, 0x55))), proto)
+			},
+			Shim:        parityShim(seed, o),
+			Schedule:    pathmodel.ShimUpdates(m, o.Duration),
+			Duration:    o.Duration,
+			MeasureFrom: o.MeasureFrom,
+		}
+		if hasFaults {
+			cfg.Chaos = &plan
+		}
+		lb, err := wire.RunLoopback(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("wire run %s: %w", proto, err)
+		}
+		var wLoss float64
+		if tot := lb.Sender.AckedBytes + lb.Sender.LostBytes; tot > 0 {
+			wLoss = float64(lb.Sender.LostBytes) / float64(tot)
+		}
+		row := WireParityRow{
+			Proto:   proto,
+			SimMbps: simMbps, WireMbps: lb.Mbps,
+			SimMeanRTT: simMean, WireMeanRTT: lb.MeanRTT,
+			SimP95RTT: simP95, WireP95RTT: lb.P95RTT,
+			SimLoss: simLoss, WireLoss: wLoss,
+		}
+		if simMbps > 0 {
+			row.TputErrPct = abs(lb.Mbps-simMbps) / simMbps * 100
+		}
+		row.Pass = row.TputErrPct <= o.TolerancePct
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ParityStaircase is the default trace for the sim-vs-wire model gate:
+// a deterministic capacity staircase around the base rate (0.5×, 1.5×,
+// 0.75×, 1.25×…) with a delay bump on one tread, each tread lasting
+// segLen seconds and the whole pattern looping over the duration.
+func ParityStaircase(baseMbps float64) *pathmodel.Trace {
+	const segLen = 2.5
+	factors := []float64{1.0, 0.5, 1.5, 0.75, 1.25}
+	extras := []float64{0, 0.010, 0, 0.005, 0}
+	tr := &pathmodel.Trace{Label: "parity-stairs", Loop: true, Step: segLen}
+	for i, f := range factors {
+		tr.Points = append(tr.Points, pathmodel.TracePoint{
+			T: float64(i) * segLen, Mbps: baseMbps * f, ExtraDelay: extras[i],
+		})
+	}
+	return tr
+}
+
+// pathParitySim is wireParitySim with the model applied to the link:
+// the simulator half of the trace-model parity gate.
+func pathParitySim(seed int64, o WireParityOptions, proto string, m pathmodel.Model) (mbps, meanRTT, p95RTT, loss float64, err error) {
+	s := sim.New(seed)
+	link := LinkSpec{Mbps: o.Mbps, RTT: o.RTT, BufBytes: o.QueueBytes}
+	path := link.Build(s)
+	if err = pathmodel.ApplySim(s, path.Link, m, o.Duration); err != nil {
+		return
+	}
+	if plan, hasFaults := pathmodel.FaultPlan(m, o.Duration); hasFaults {
+		chaos.ApplySim(s, path.Link, path, plan, o.Duration)
+	}
+	cc := NewController(s, proto)
+	snd := transport.NewSender(1, path, cc)
+	snd.RecordRTT = true
+	snd.Start()
+	var markAcked int64
+	markSamples := 0
+	s.At(o.MeasureFrom, func() {
+		markAcked = snd.AckedBytes()
+		markSamples = len(snd.RTTSamples())
+	})
+	s.Run(o.Duration)
+	window := o.Duration - o.MeasureFrom
+	mbps = float64(snd.AckedBytes()-markAcked) * 8 / window / 1e6
+	rtts := snd.RTTSamples()[markSamples:]
+	meanRTT = stats.Mean(rtts)
+	p95RTT = stats.Percentile(rtts, 95)
+	if tot := snd.AckedBytes() + snd.LostBytes(); tot > 0 {
+		loss = float64(snd.LostBytes()) / float64(tot)
+	}
+	return
+}

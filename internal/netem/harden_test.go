@@ -1,0 +1,162 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pccproteus/internal/sim"
+)
+
+// TestSetRateClamp is the table test for the documented capacity floor:
+// zero, negative, and NaN capacity steps clamp to MinRate, everything
+// at or above the floor (including +Inf) passes through unchanged.
+func TestSetRateClamp(t *testing.T) {
+	cases := []struct {
+		name string
+		bps  float64
+		want float64
+	}{
+		{"normal", 5e6, 5e6},
+		{"at-floor", MinRate, MinRate},
+		{"just-below-floor", MinRate - 1, MinRate},
+		{"zero", 0, MinRate},
+		{"negative", -3e6, MinRate},
+		{"neg-inf", math.Inf(-1), MinRate},
+		{"nan", math.NaN(), MinRate},
+		{"pos-inf", math.Inf(1), math.Inf(1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := NewLink(sim.New(1), 10, 1<<20, 0.010)
+			l.SetRate(tc.bps)
+			if l.Rate != tc.want && !(math.IsInf(tc.want, 1) && math.IsInf(l.Rate, 1)) {
+				t.Fatalf("SetRate(%v): Rate = %v, want %v", tc.bps, l.Rate, tc.want)
+			}
+		})
+	}
+}
+
+// TestSetRateMbps checks the Mbps convenience wrapper clamps identically.
+func TestSetRateMbps(t *testing.T) {
+	l := NewLink(sim.New(1), 10, 1<<20, 0.010)
+	l.SetRateMbps(20)
+	if l.Rate != 20*1e6/8 {
+		t.Fatalf("SetRateMbps(20): Rate = %v, want %v", l.Rate, 20*1e6/8)
+	}
+	l.SetRateMbps(-1)
+	if l.Rate != MinRate {
+		t.Fatalf("SetRateMbps(-1): Rate = %v, want floor %v", l.Rate, MinRate)
+	}
+}
+
+// TestNewLinkFloorsRate checks the constructor routes through the same
+// clamp as SetRate.
+func TestNewLinkFloorsRate(t *testing.T) {
+	l := NewLink(sim.New(1), 0, 1<<20, 0.010)
+	if l.Rate != MinRate {
+		t.Fatalf("NewLink(0 Mbps): Rate = %v, want floor %v", l.Rate, MinRate)
+	}
+}
+
+// TestSetPropDelay is the table test for the delay model boundary:
+// NaN, infinite, and negative delays are rejected with an error and
+// leave the link untouched; valid delays (including zero) apply.
+func TestSetPropDelay(t *testing.T) {
+	cases := []struct {
+		name    string
+		d       float64
+		wantErr bool
+	}{
+		{"normal", 0.025, false},
+		{"zero", 0, false},
+		{"large", 2.0, false},
+		{"negative", -0.001, true},
+		{"nan", math.NaN(), true},
+		{"pos-inf", math.Inf(1), true},
+		{"neg-inf", math.Inf(-1), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := NewLink(sim.New(1), 10, 1<<20, 0.010)
+			err := l.SetPropDelay(tc.d)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("SetPropDelay(%v): err = %v, wantErr %v", tc.d, err, tc.wantErr)
+			}
+			if tc.wantErr && l.PropDelay != 0.010 {
+				t.Fatalf("SetPropDelay(%v): rejected delay mutated PropDelay to %v", tc.d, l.PropDelay)
+			}
+			if !tc.wantErr && l.PropDelay != tc.d {
+				t.Fatalf("SetPropDelay(%v): PropDelay = %v", tc.d, l.PropDelay)
+			}
+		})
+	}
+}
+
+// TestPathHopsConservationVariableRate is the multi-hop property test
+// under a time-varying stage: a two-hop path whose second link's
+// capacity steps every 100 ms (through SetRate, including degenerate
+// zero/negative steps that clamp to the floor) must still satisfy every
+// per-link conservation law after the queues drain.
+func TestPathHopsConservationVariableRate(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			s := sim.New(seed)
+			l1 := NewLink(s, 50+rng.Float64()*50, 1<<20, 0.002)
+			cap2 := 2*MTU + rng.Intn(30*MTU)
+			l2 := NewLink(s, 5+rng.Float64()*20, cap2, 0.010)
+			l2.LossProb = rng.Float64() * 0.2
+			p := &Path{Link: l1, Hops: []*Link{l2}, AckDelay: 0.010}
+
+			// Variable-rate stage: capacity steps on the second hop,
+			// drawn wide enough to include zero and negative samples.
+			for at := 0.1; at < 10; at += 0.1 {
+				mbps := -5 + rng.Float64()*40
+				s.At(at, func() { l2.SetRateMbps(mbps) })
+			}
+
+			var offered, delivered int64
+			n := 300 + rng.Intn(500)
+			for i := 0; i < n; i++ {
+				pkt := &Packet{FlowID: 1, Seq: int64(i), Size: 40 + rng.Intn(MTU-40+1)}
+				s.At(rng.Float64()*10, func() {
+					pkt.SentAt = s.Now()
+					offered++
+					p.Send(pkt, func(*Packet, float64) { delivered++ })
+				})
+			}
+			// Heal the rate at t=10 so the drain completes quickly even
+			// if the last step landed on the floor.
+			s.At(10.001, func() { l2.SetRateMbps(20) })
+			s.Run(10 + float64(cap2)/(20*1e6/8) + 30)
+
+			s1, s2 := l1.Stats(), l2.Stats()
+			if s1.Enqueued+s1.Dropped != offered {
+				t.Fatalf("seed %d: hop1 enqueued(%d)+dropped(%d) != offered %d",
+					seed, s1.Enqueued, s1.Dropped, offered)
+			}
+			if s1.Delivered+s1.LostRandom != s1.Enqueued {
+				t.Fatalf("seed %d: hop1 delivered(%d)+lost(%d) != enqueued(%d)",
+					seed, s1.Delivered, s1.LostRandom, s1.Enqueued)
+			}
+			if s2.Enqueued+s2.Dropped != s1.Delivered {
+				t.Fatalf("seed %d: hop2 enqueued(%d)+dropped(%d) != hop1 delivered(%d)",
+					seed, s2.Enqueued, s2.Dropped, s1.Delivered)
+			}
+			if s2.Delivered+s2.LostRandom != s2.Enqueued {
+				t.Fatalf("seed %d: hop2 delivered(%d)+lost(%d) != enqueued(%d)",
+					seed, s2.Delivered, s2.LostRandom, s2.Enqueued)
+			}
+			if int64(delivered) != s2.Delivered {
+				t.Fatalf("seed %d: observed deliveries %d != hop2 delivered %d",
+					seed, delivered, s2.Delivered)
+			}
+			if l1.QueueBytes() != 0 || l2.QueueBytes() != 0 {
+				t.Fatalf("seed %d: queues not drained: %d/%d",
+					seed, l1.QueueBytes(), l2.QueueBytes())
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@
 package netem
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -128,7 +129,44 @@ type Link struct {
 // NewLink builds a bottleneck with rate in bits/sec converted from Mbps,
 // capacity in bytes, and one-way propagation delay in seconds.
 func NewLink(s *sim.Sim, rateMbps float64, queueCapBytes int, propDelay float64) *Link {
-	return &Link{Sim: s, Rate: rateMbps * 1e6 / 8, QueueCap: queueCapBytes, PropDelay: propDelay}
+	l := &Link{Sim: s, QueueCap: queueCapBytes, PropDelay: propDelay}
+	l.SetRate(rateMbps * 1e6 / 8)
+	return l
+}
+
+// MinRate is the documented capacity floor in bytes per second: one MTU
+// per second. Time-varying capacity models (pathmodel traces, adversary
+// schedules, rate walks) can legitimately sample zero or negative
+// capacity during a deep fade; SetRate clamps such steps here so the
+// serializing queue keeps draining — however slowly — instead of
+// dividing by zero or running the busy timeline backwards.
+const MinRate = float64(MTU)
+
+// SetRate sets the link capacity in bytes per second. Zero, negative,
+// and NaN inputs are clamped to MinRate; +Inf is allowed (instantaneous
+// serialization). Every time-varying capacity model must change the
+// rate through this boundary rather than writing Rate directly.
+func (l *Link) SetRate(bps float64) {
+	if math.IsNaN(bps) || bps < MinRate {
+		bps = MinRate
+	}
+	l.Rate = bps
+}
+
+// SetRateMbps is SetRate with the capacity given in Mbps.
+func (l *Link) SetRateMbps(mbps float64) { l.SetRate(mbps * 1e6 / 8) }
+
+// SetPropDelay sets the one-way propagation delay in seconds. Unlike a
+// degenerate capacity — which has a natural floor — a NaN, infinite, or
+// negative delay silently corrupts every arrival timestamp computed
+// downstream, so the model boundary rejects it with an error instead of
+// guessing.
+func (l *Link) SetPropDelay(d float64) error {
+	if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+		return fmt.Errorf("netem: invalid propagation delay %v", d)
+	}
+	l.PropDelay = d
+	return nil
 }
 
 // Stats returns a copy of the link counters.
@@ -482,6 +520,6 @@ func (w *RateWalk) step() {
 	if f > w.MaxFac {
 		f = w.MaxFac
 	}
-	w.Link.Rate = w.Base * f
+	w.Link.SetRate(w.Base * f)
 	w.Sim.After(w.Interval, w.step)
 }

@@ -1,0 +1,89 @@
+package pathmodel
+
+import "math"
+
+// LEO models a low-earth-orbit satellite path: the terminal tracks one
+// satellite per pass, the satellite's slant range sweeps the extra
+// one-way delay down to mid-pass and back up, each pass serves a
+// different (deterministically drawn) per-satellite capacity, and
+// every handover between passes is a micro-blackout — the paper-world
+// event the survival machinery must ride out.
+//
+// StateAt is a pure function of t: per-pass parameters derive from a
+// splitmix64 hash of the pass index, not from sequential RNG state, so
+// sampling order cannot change the channel.
+type LEO struct {
+	Period     float64 // seconds between handovers (default 15)
+	Outage     float64 // handover micro-blackout duration (default 0.15)
+	Mbps       float64 // mean per-satellite capacity (default 120)
+	MbpsJitter float64 // per-pass capacity spread as a fraction (default 0.35)
+	BaseExtra  float64 // extra one-way delay at mid-pass, seconds (default 0.002)
+	SwingExtra float64 // additional delay at the pass edges (default 0.008)
+	Step       float64 // sampling interval (default 0.05; must divide Outage)
+	Seed       int64   // per-pass parameter stream
+}
+
+// DefaultLEO is the standard constellation used by the satellite
+// figure: 15 s passes, 150 ms handover blackouts, ~120 Mbps.
+func DefaultLEO(seed int64) LEO { return LEO{Seed: seed} }
+
+func (m LEO) withDefaults() LEO {
+	if m.Period <= 0 {
+		m.Period = 15
+	}
+	if m.Outage <= 0 {
+		m.Outage = 0.15
+	}
+	if m.Mbps <= 0 {
+		m.Mbps = 120
+	}
+	if m.MbpsJitter <= 0 {
+		m.MbpsJitter = 0.35
+	}
+	if m.BaseExtra <= 0 {
+		m.BaseExtra = 0.002
+	}
+	if m.SwingExtra <= 0 {
+		m.SwingExtra = 0.008
+	}
+	if m.Step <= 0 {
+		m.Step = 0.05
+	}
+	return m
+}
+
+// Name identifies the model in tables and logs.
+func (m LEO) Name() string { return "leo" }
+
+// Interval returns the sampling resolution.
+func (m LEO) Interval() float64 { return m.withDefaults().Step }
+
+// delayQuantum keeps the delay arc a staircase of ~0.25 ms treads so
+// the step schedule stays compact (a few dozen steps per pass instead
+// of one per sample).
+const delayQuantum = 0.00025
+
+// StateAt returns the constellation's prescription at t.
+func (m LEO) StateAt(t float64) State {
+	m = m.withDefaults()
+	if t < 0 {
+		t = 0
+	}
+	pass := math.Floor(t / m.Period)
+	phase := t/m.Period - pass // [0, 1) across the pass
+
+	// Handover: the tail of each pass is a dead path.
+	if phase >= 1-m.Outage/m.Period {
+		return State{Mbps: FloorMbps, Down: true}
+	}
+
+	// Per-pass capacity: the next satellite is a fresh draw.
+	h := splitmix64(uint64(m.Seed)*0x9e3779b97f4a7c15 + uint64(int64(pass)) + 0x51ed2701)
+	mbps := m.Mbps * (1 + m.MbpsJitter*(2*unit(h)-1))
+
+	// Slant-range delay arc: max at the pass edges, min mid-pass,
+	// quantized so consecutive samples dedup.
+	extra := m.BaseExtra + m.SwingExtra*2*math.Abs(phase-0.5)
+	extra = math.Round(extra/delayQuantum) * delayQuantum
+	return State{Mbps: mbps, ExtraDelay: extra}
+}

@@ -1,0 +1,93 @@
+package pathmodel
+
+import (
+	"fmt"
+	"os"
+)
+
+// KnownModels lists the model kinds Build and ByName accept, in help
+// order: the bundled generators, the satellite constellation, and
+// file-backed traces.
+var KnownModels = []string{"lte", "5g", "leo", "trace"}
+
+// Spec is the JSON-friendly description of a path model, embedded in
+// campaign topology specs and CLI flags. A generator spec is fully
+// reproducible from (Kind, Seed, DurS); a trace spec names a file.
+type Spec struct {
+	Kind string `json:"kind"` // lte | 5g | leo | trace
+
+	// Generator fields (lte, 5g): Seed and the generated trace length
+	// in seconds (0 = the horizon Build is given).
+	Seed int64   `json:"seed,omitempty"`
+	DurS float64 `json:"dur_s,omitempty"`
+
+	// Trace fields (kind=trace).
+	Path   string `json:"path,omitempty"`   // CSV or JSONL trace file
+	Interp string `json:"interp,omitempty"` // "hold" (default) | "linear"
+	NoLoop bool   `json:"no_loop,omitempty"`
+
+	// LEO overrides (zero = model default).
+	PeriodS float64 `json:"period_s,omitempty"`
+	OutageS float64 `json:"outage_s,omitempty"`
+	Mbps    float64 `json:"mbps,omitempty"`
+}
+
+// Build constructs the model the spec describes. horizon bounds
+// generated trace length when DurS is unset; generated traces loop, so
+// a shorter DurS simply repeats.
+func (sp Spec) Build(horizon float64) (Model, error) {
+	dur := sp.DurS
+	if dur <= 0 {
+		dur = horizon
+	}
+	if dur <= 0 {
+		return nil, fmt.Errorf("pathmodel: spec %q needs dur_s or a positive horizon", sp.Kind)
+	}
+	seed := sp.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	switch sp.Kind {
+	case "lte":
+		return GenLTE(seed, dur), nil
+	case "5g":
+		return Gen5G(seed, dur), nil
+	case "leo":
+		m := DefaultLEO(seed)
+		m.Period, m.Outage = sp.PeriodS, sp.OutageS
+		m.Mbps = sp.Mbps
+		return m.withDefaults(), nil
+	case "trace":
+		if sp.Path == "" {
+			return nil, fmt.Errorf("pathmodel: trace spec needs a path")
+		}
+		f, err := os.Open(sp.Path)
+		if err != nil {
+			return nil, fmt.Errorf("pathmodel: %w", err)
+		}
+		defer f.Close()
+		tr, err := ParseTrace(f)
+		if err != nil {
+			return nil, fmt.Errorf("%w (in %s)", err, sp.Path)
+		}
+		tr.Label = sp.Path
+		tr.Loop = !sp.NoLoop
+		switch sp.Interp {
+		case "", "hold":
+			tr.Mode = Hold
+		case "linear":
+			tr.Mode = Linear
+		default:
+			return nil, fmt.Errorf("pathmodel: unknown interp %q (hold|linear)", sp.Interp)
+		}
+		return tr, nil
+	default:
+		return nil, fmt.Errorf("pathmodel: unknown model kind %q (known: %v)", sp.Kind, KnownModels)
+	}
+}
+
+// ByName builds a named bundled model — the CLI and adversary-scenario
+// shorthand for a generator Spec with the given seed.
+func ByName(name string, seed int64, horizon float64) (Model, error) {
+	return Spec{Kind: name, Seed: seed}.Build(horizon)
+}

@@ -1,0 +1,268 @@
+package pathmodel
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Interp selects how a trace's capacity and delay are read between
+// sample points.
+type Interp int
+
+const (
+	// Hold keeps each row's values until the next row (step function).
+	Hold Interp = iota
+	// Linear interpolates between neighboring rows; the applied
+	// schedule is still a staircase at the trace's Step resolution,
+	// identical in both worlds.
+	Linear
+)
+
+// TracePoint is one row of a capacity trace.
+type TracePoint struct {
+	T          float64 // seconds from trace start, strictly increasing
+	Mbps       float64 // capacity
+	ExtraDelay float64 // extra one-way delay, seconds
+}
+
+// Trace is a trace-driven path model: capacity (and optionally extra
+// one-way delay) over time, replayed from parsed rows or a bundled
+// generator. Past the last row the trace loops by default (Loop),
+// otherwise it holds the final values.
+type Trace struct {
+	Label  string
+	Points []TracePoint
+	Mode   Interp
+	Loop   bool
+	// Step is the application resolution in seconds (default 0.1):
+	// Steps samples StateAt on this grid, so finer traces replay
+	// faithfully and Linear mode becomes a Step-resolution staircase.
+	Step float64
+}
+
+// Name identifies the trace in figure tables and logs.
+func (tr *Trace) Name() string {
+	if tr.Label != "" {
+		return "trace:" + tr.Label
+	}
+	return "trace"
+}
+
+// Interval returns the application resolution.
+func (tr *Trace) Interval() float64 {
+	if tr.Step <= 0 {
+		return 0.1
+	}
+	return tr.Step
+}
+
+// Duration returns the time of the last row.
+func (tr *Trace) Duration() float64 {
+	if len(tr.Points) == 0 {
+		return 0
+	}
+	return tr.Points[len(tr.Points)-1].T
+}
+
+// StateAt returns the trace's prescription at t: the covering row in
+// Hold mode or the interpolation of the neighboring rows in Linear
+// mode, after loop/hold extension past the end. Traces never declare
+// outages; a zero-capacity fade clamps to the netem floor instead.
+func (tr *Trace) StateAt(t float64) State {
+	n := len(tr.Points)
+	if n == 0 {
+		return State{Mbps: FloorMbps}
+	}
+	end := tr.Duration()
+	if t > end {
+		if tr.Loop && end > 0 {
+			t = math.Mod(t, end)
+		} else {
+			t = end
+		}
+	}
+	if t < 0 {
+		t = 0
+	}
+	// i is the last row with T <= t (t below the first row reads row 0).
+	i := sort.Search(n, func(k int) bool { return tr.Points[k].T > t }) - 1
+	if i < 0 {
+		i = 0
+	}
+	p := tr.Points[i]
+	if tr.Mode == Linear && i+1 < n && tr.Points[i+1].T > p.T && t > p.T {
+		q := tr.Points[i+1]
+		f := (t - p.T) / (q.T - p.T)
+		return State{
+			Mbps:       p.Mbps + f*(q.Mbps-p.Mbps),
+			ExtraDelay: p.ExtraDelay + f*(q.ExtraDelay-p.ExtraDelay),
+		}
+	}
+	return State{Mbps: p.Mbps, ExtraDelay: p.ExtraDelay}
+}
+
+// Trace-parser limits. Violations are parse errors, never panics — the
+// parser is fuzzed against arbitrary input.
+const (
+	maxTraceRows    = 1 << 20
+	maxTraceLineLen = 1 << 16
+)
+
+// traceHeader is the only CSV header the strict parser accepts. The
+// delay column holds milliseconds (the natural unit for trace files);
+// TracePoint stores seconds.
+const traceHeader = "t,mbps,delay_ms"
+
+// ParseTrace parses a capacity trace, sniffing the format from the
+// first non-blank byte: '{' selects JSONL, anything else CSV.
+func ParseTrace(r io.Reader) (*Trace, error) {
+	data, err := io.ReadAll(io.LimitReader(r, int64(maxTraceRows)*maxTraceLineLen))
+	if err != nil {
+		return nil, fmt.Errorf("pathmodel: reading trace: %w", err)
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		return ParseTraceJSONL(bytes.NewReader(data))
+	}
+	return ParseTraceCSV(bytes.NewReader(data))
+}
+
+// ParseTraceCSV parses the strict CSV trace format: an optional header
+// line (exactly "t,mbps,delay_ms"), then one row per line with two or
+// three comma-separated finite numbers — time in seconds (strictly
+// increasing, starting at or after 0), capacity in Mbps (non-negative;
+// zero is a legal fade that clamps to the netem floor on application),
+// and optional extra one-way delay in milliseconds (non-negative).
+// Blank lines and '#' comments are allowed; every malformed row is an
+// error naming its line number.
+func ParseTraceCSV(r io.Reader) (*Trace, error) {
+	tr := &Trace{Loop: true}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), maxTraceLineLen)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if len(tr.Points) == 0 && text == traceHeader {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("pathmodel: trace line %d: %d columns, want 2 or 3 (%s)", line, len(fields), traceHeader)
+		}
+		var p TracePoint
+		var err error
+		if p.T, err = parseField(fields[0]); err != nil {
+			return nil, fmt.Errorf("pathmodel: trace line %d: time: %v", line, err)
+		}
+		if p.Mbps, err = parseField(fields[1]); err != nil {
+			return nil, fmt.Errorf("pathmodel: trace line %d: capacity: %v", line, err)
+		}
+		if len(fields) == 3 {
+			ms, err := parseField(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("pathmodel: trace line %d: delay: %v", line, err)
+			}
+			p.ExtraDelay = ms / 1e3
+		}
+		if err := tr.appendRow(p, line); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pathmodel: trace line %d: %w", line+1, err)
+	}
+	if len(tr.Points) == 0 {
+		return nil, fmt.Errorf("pathmodel: trace has no rows")
+	}
+	return tr, nil
+}
+
+// jsonlRow is the strict JSONL row shape; unknown fields are rejected.
+type jsonlRow struct {
+	T       float64  `json:"t"`
+	Mbps    *float64 `json:"mbps"`
+	DelayMS float64  `json:"delay_ms"`
+}
+
+// ParseTraceJSONL parses the strict JSONL trace format: one JSON
+// object per line with fields t (seconds), mbps, and optional delay_ms,
+// validated under the same rules as the CSV format.
+func ParseTraceJSONL(r io.Reader) (*Trace, error) {
+	tr := &Trace{Loop: true}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), maxTraceLineLen)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		dec := json.NewDecoder(strings.NewReader(text))
+		dec.DisallowUnknownFields()
+		var row jsonlRow
+		if err := dec.Decode(&row); err != nil {
+			return nil, fmt.Errorf("pathmodel: trace line %d: %v", line, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("pathmodel: trace line %d: trailing data after object", line)
+		}
+		if row.Mbps == nil {
+			return nil, fmt.Errorf("pathmodel: trace line %d: missing mbps", line)
+		}
+		p := TracePoint{T: row.T, Mbps: *row.Mbps, ExtraDelay: row.DelayMS / 1e3}
+		if err := tr.appendRow(p, line); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pathmodel: trace line %d: %w", line+1, err)
+	}
+	if len(tr.Points) == 0 {
+		return nil, fmt.Errorf("pathmodel: trace has no rows")
+	}
+	return tr, nil
+}
+
+// parseField parses one numeric CSV field, rejecting non-finite values.
+func parseField(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", strings.TrimSpace(s))
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %v", v)
+	}
+	return v, nil
+}
+
+// appendRow validates one parsed row against the strict-format rules
+// shared by both parsers and appends it.
+func (tr *Trace) appendRow(p TracePoint, line int) error {
+	switch {
+	case math.IsNaN(p.T) || math.IsInf(p.T, 0) || p.T < 0:
+		return fmt.Errorf("pathmodel: trace line %d: invalid time %v", line, p.T)
+	case math.IsNaN(p.Mbps) || math.IsInf(p.Mbps, 0) || p.Mbps < 0:
+		return fmt.Errorf("pathmodel: trace line %d: invalid capacity %v Mbps", line, p.Mbps)
+	case math.IsNaN(p.ExtraDelay) || math.IsInf(p.ExtraDelay, 0) || p.ExtraDelay < 0:
+		return fmt.Errorf("pathmodel: trace line %d: invalid delay %v", line, p.ExtraDelay)
+	case len(tr.Points) > 0 && p.T <= tr.Points[len(tr.Points)-1].T:
+		return fmt.Errorf("pathmodel: trace line %d: time %v not increasing (previous %v)",
+			line, p.T, tr.Points[len(tr.Points)-1].T)
+	case len(tr.Points) >= maxTraceRows:
+		return fmt.Errorf("pathmodel: trace exceeds %d rows", maxTraceRows)
+	}
+	tr.Points = append(tr.Points, p)
+	return nil
+}

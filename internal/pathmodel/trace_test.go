@@ -1,0 +1,178 @@
+package pathmodel
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+func mustParseFile(t *testing.T, path string) *Trace {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := ParseTrace(f)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return tr
+}
+
+// TestGoldenTracesParse parses the committed golden traces and checks
+// the CSV and JSONL forms of the same channel decode identically.
+func TestGoldenTracesParse(t *testing.T) {
+	csv := mustParseFile(t, "testdata/cellular_golden.csv")
+	jsonl := mustParseFile(t, "testdata/cellular_golden.jsonl")
+	if len(csv.Points) != 21 || len(jsonl.Points) != 21 {
+		t.Fatalf("row counts: csv=%d jsonl=%d, want 21", len(csv.Points), len(jsonl.Points))
+	}
+	for i := range csv.Points {
+		if csv.Points[i] != jsonl.Points[i] {
+			t.Fatalf("row %d differs: csv=%+v jsonl=%+v", i, csv.Points[i], jsonl.Points[i])
+		}
+	}
+	// Spot checks against the file contents.
+	if p := csv.Points[5]; p.T != 0.5 || p.Mbps != 1.2 || p.ExtraDelay != 0.045 {
+		t.Fatalf("row 5 = %+v, want {0.5 1.2 0.045}", p)
+	}
+	if d := csv.Duration(); d != 2.0 {
+		t.Fatalf("duration = %v, want 2.0", d)
+	}
+}
+
+// TestTraceStateAt covers hold vs linear interpolation, loop wrap, and
+// hold-past-end behavior.
+func TestTraceStateAt(t *testing.T) {
+	tr := &Trace{Points: []TracePoint{
+		{T: 0, Mbps: 10},
+		{T: 1, Mbps: 20, ExtraDelay: 0.010},
+		{T: 2, Mbps: 40},
+	}}
+
+	tr.Mode = Hold
+	if got := tr.StateAt(0.99).Mbps; got != 10 {
+		t.Fatalf("hold at 0.99: %v, want 10", got)
+	}
+	if got := tr.StateAt(1.5); got.Mbps != 20 || got.ExtraDelay != 0.010 {
+		t.Fatalf("hold at 1.5: %+v, want {20 0.010}", got)
+	}
+
+	tr.Mode = Linear
+	if got := tr.StateAt(0.5).Mbps; math.Abs(got-15) > 1e-12 {
+		t.Fatalf("linear at 0.5: %v, want 15", got)
+	}
+	if got := tr.StateAt(1.5); math.Abs(got.Mbps-30) > 1e-12 || math.Abs(got.ExtraDelay-0.005) > 1e-12 {
+		t.Fatalf("linear at 1.5: %+v, want {30 0.005}", got)
+	}
+
+	// Past the end: loop wraps modulo the duration, no-loop holds.
+	tr.Mode = Hold
+	tr.Loop = true
+	if got, want := tr.StateAt(2.5).Mbps, tr.StateAt(0.5).Mbps; got != want {
+		t.Fatalf("loop at 2.5: %v, want %v", got, want)
+	}
+	tr.Loop = false
+	if got := tr.StateAt(100).Mbps; got != 40 {
+		t.Fatalf("hold-past-end: %v, want 40", got)
+	}
+}
+
+// TestParseTraceRejects is the malformed-row table: every case must
+// fail with an error (and, via the fuzz harness, without a panic).
+func TestParseTraceRejects(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"comment-only", "# nothing\n"},
+		{"one-column", "1.0\n"},
+		{"four-columns", "0,1,2,3\n"},
+		{"bad-number", "0,abc\n"},
+		{"nan", "0,NaN\n"},
+		{"inf-delay", "0,10,+Inf\n"},
+		{"negative-time", "-1,10\n"},
+		{"negative-mbps", "0,-3\n"},
+		{"negative-delay", "0,10,-2\n"},
+		{"non-increasing", "0,10\n0,12\n"},
+		{"decreasing", "1,10\n0.5,12\n"},
+		{"wrong-header", "time,rate\n0,10\n"},
+		{"jsonl-unknown-field", `{"t":0,"mbps":10,"x":1}`},
+		{"jsonl-missing-mbps", `{"t":0}`},
+		{"jsonl-nan", `{"t":0,"mbps":null}`},
+		{"jsonl-trailing", `{"t":0,"mbps":10}{"t":1,"mbps":11}`},
+		{"jsonl-negative", `{"t":0,"mbps":-1}`},
+		{"jsonl-not-object", "{broken"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseTrace(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("ParseTrace(%q) accepted malformed input", tc.in)
+			}
+		})
+	}
+}
+
+// TestParseTraceAccepts covers the lenient corners of the strict
+// format: header, comments, blank lines, zero capacity, 2-column rows.
+func TestParseTraceAccepts(t *testing.T) {
+	in := "t,mbps,delay_ms\n# fade below\n\n0,10\n0.5,0,12.5\n1,25\n"
+	tr, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tr.Points))
+	}
+	if p := tr.Points[1]; p.Mbps != 0 || p.ExtraDelay != 0.0125 {
+		t.Fatalf("row 1 = %+v", p)
+	}
+	// A zero-capacity fade clamps to the floor at application time.
+	if got := ClampMbps(tr.StateAt(0.5).Mbps); got != FloorMbps {
+		t.Fatalf("clamped fade = %v, want floor %v", got, FloorMbps)
+	}
+}
+
+// FuzzParseTrace feeds arbitrary bytes to the sniffing parser: it must
+// either return a trace satisfying the format invariants or an error —
+// never panic.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("t,mbps,delay_ms\n0,10,1\n1,20,0\n")
+	f.Add(`{"t":0,"mbps":10}` + "\n" + `{"t":1,"mbps":20,"delay_ms":3}`)
+	f.Add("0,1\n")
+	f.Add("0,NaN\n")
+	f.Add("-1,5\n")
+	f.Add("{\n")
+	f.Add("")
+	f.Add("t,mbps,delay_ms")
+	f.Add("0,1e309\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ParseTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if len(tr.Points) == 0 {
+			t.Fatal("accepted trace with no rows")
+		}
+		prev := math.Inf(-1)
+		for i, p := range tr.Points {
+			if math.IsNaN(p.T) || p.T < 0 || p.T <= prev && i > 0 {
+				t.Fatalf("row %d: non-increasing or invalid time %v", i, p.T)
+			}
+			if math.IsNaN(p.Mbps) || math.IsInf(p.Mbps, 0) || p.Mbps < 0 {
+				t.Fatalf("row %d: invalid capacity %v", i, p.Mbps)
+			}
+			if math.IsNaN(p.ExtraDelay) || math.IsInf(p.ExtraDelay, 0) || p.ExtraDelay < 0 {
+				t.Fatalf("row %d: invalid delay %v", i, p.ExtraDelay)
+			}
+			prev = p.T
+		}
+		// The accepted trace must also be applicable: every sampled
+		// state passes the netem model boundary.
+		if err := Validate(tr, math.Min(tr.Duration(), 5)); err != nil {
+			t.Fatalf("accepted trace fails Validate: %v", err)
+		}
+	})
+}
