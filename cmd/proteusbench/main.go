@@ -325,6 +325,12 @@ func run(w io.Writer, id string, o exp.Options) error {
 		emit(w, "satellite", t)
 	case "incast":
 		emit(w, "incast", exp.IncastFairness(o, nil))
+	case "overload":
+		t, err := exp.OverloadFig(o)
+		if err != nil {
+			return err
+		}
+		emit(w, "overload", t)
 	default:
 		return fmt.Errorf("unknown figure %q (valid: %s)", id, strings.Join(validFigs, ", "))
 	}
@@ -337,6 +343,7 @@ var validFigs = []string{
 	"2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13",
 	"14", "15", "16", "17", "18", "19", "20", "21", "22",
 	"ablation", "equilibrium", "lte", "fetch", "cellular", "satellite", "incast",
+	"overload",
 }
 
 // emit prints a table and, when -csv is set, writes it alongside.

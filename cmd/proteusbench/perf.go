@@ -240,6 +240,17 @@ func runPerf(w io.Writer, outPath string) error {
 		PktsPerSec: enginePPS, N: int(enginePkts),
 		NsPerOp: 1e9 / enginePPS,
 	}
+	// Same engine under class-aware overload control, held in brownout
+	// by a 4×-capacity half-scavenger population: the admission gate,
+	// sheds, and BUSY emission all run on the measured hot path.
+	ovPPS, ovPkts, err := engine.MeasureOverloadPPS(ppsFlows, ppsWindow)
+	if err != nil {
+		return fmt.Errorf("engine overload pps: %w", err)
+	}
+	rep.Benchmarks["engine_overload_pps"] = perfResult{
+		PktsPerSec: ovPPS, N: int(ovPkts),
+		NsPerOp: 1e9 / ovPPS,
+	}
 	legacyPPS, legacyPkts, err := measureLegacyPPS(ppsFlows, ppsWindow)
 	if err != nil {
 		return fmt.Errorf("legacy pps: %w", err)
@@ -248,8 +259,8 @@ func runPerf(w io.Writer, outPath string) error {
 		PktsPerSec: legacyPPS, N: int(legacyPkts),
 		NsPerOp: 1e9 / legacyPPS,
 	}
-	fmt.Fprintf(w, "datapath @%d flows: engine %.0f pps, legacy %.0f pps (%.1f×)\n",
-		ppsFlows, enginePPS, legacyPPS, enginePPS/legacyPPS)
+	fmt.Fprintf(w, "datapath @%d flows: engine %.0f pps, overloaded %.0f pps, legacy %.0f pps (%.1f×)\n",
+		ppsFlows, enginePPS, ovPPS, legacyPPS, enginePPS/legacyPPS)
 	rep.SimEventsPerSec = 1e9 / rep.Benchmarks["sim_event"].NsPerOp
 	fmt.Fprintf(w, "sim events/sec: %.2fM\n", rep.SimEventsPerSec/1e6)
 	b, err := json.MarshalIndent(rep, "", "  ")

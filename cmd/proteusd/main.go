@@ -33,6 +33,7 @@ import (
 	"pccproteus/internal/engine"
 	"pccproteus/internal/exp"
 	"pccproteus/internal/fetch"
+	"pccproteus/internal/overload"
 	"pccproteus/internal/transport"
 	"pccproteus/internal/wire"
 )
@@ -142,6 +143,7 @@ func runRecv(args []string) error {
 	serve := fs.String("serve", "", "also answer segmented fetch requests for every file in this directory (proteusfetch is the client)")
 	engineMode := fs.Bool("engine", false, "receive on the sharded event-loop engine (shard i listens on port+i)")
 	shards := fs.Int("shards", 2, "engine shards (with -engine)")
+	statsInterval := fs.Float64("stats-interval", 0, "with -engine: print a per-class overload stats line every this many seconds (0 = off)")
 	fs.Parse(args)
 
 	addr, err := net.ResolveUDPAddr("udp", *listen)
@@ -152,7 +154,7 @@ func runRecv(args []string) error {
 		if *serve != "" {
 			return fmt.Errorf("-serve requires the legacy receiver (drop -engine)")
 		}
-		return runRecvEngine(addr, *shards, *idle, *maxFlows, *quiet)
+		return runRecvEngine(addr, *shards, *idle, *maxFlows, *quiet, *statsInterval)
 	}
 	conn, err := listenUDPRetry(addr)
 	if err != nil {
@@ -201,9 +203,32 @@ func runRecv(args []string) error {
 	}
 }
 
+// classStatsLine formats the engine's brownout state and per-class
+// admission counters: one glanceable line showing that pressure is
+// being spent on scavengers (shed/rejected) before primaries.
+func classStatsLine(st engine.Stats) string {
+	return fmt.Sprintf(
+		"overload: state=%s worst=%s pressure=%.2f admitted=%d/%d rejected=%d/%d shed=%d/%d paused=%d busy=%d/%d evicted=%d (primary/scavenger)",
+		st.Overload, st.WorstOverload, st.Pressure,
+		st.AdmittedPrimary, st.AdmittedScavenger,
+		st.RejectedPrimary, st.RejectedScavenger,
+		st.ShedPrimary, st.ShedScavenger,
+		st.Paused, st.BusyTx, st.BusyRx, st.Evicted)
+}
+
+// statsTicker returns a ticker channel firing every interval seconds,
+// or a nil channel (never fires) when the interval is off.
+func statsTicker(interval float64) (<-chan time.Time, func()) {
+	if interval <= 0 {
+		return nil, func() {}
+	}
+	t := time.NewTicker(time.Duration(interval * float64(time.Second)))
+	return t.C, t.Stop
+}
+
 // runRecvEngine is the sharded receive path: one engine, shard i on
 // listen-port+i, all incoming flows multiplexed onto the shard loops.
-func runRecvEngine(addr *net.UDPAddr, shards int, idle float64, maxFlows int, quiet bool) error {
+func runRecvEngine(addr *net.UDPAddr, shards int, idle float64, maxFlows int, quiet bool, statsInterval float64) error {
 	ip := "0.0.0.0"
 	if addr.IP != nil {
 		ip = addr.IP.String()
@@ -225,15 +250,23 @@ func runRecvEngine(addr *net.UDPAddr, shards int, idle float64, maxFlows int, qu
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	tick := time.NewTicker(time.Second)
 	defer tick.Stop()
+	ovTick, stopOv := statsTicker(statsInterval)
+	defer stopOv()
 	var last engine.Stats
 	for {
 		select {
 		case <-sig:
+			// Graceful drain: quiesce admissions by stopping the engine
+			// only after the final summary is captured, so the counters
+			// reflect everything the datapath did.
 			st := eng.Stats()
 			fmt.Printf("total: pkts=%d bytes=%d dups=%d acks=%d flows=%d evicted=%d rebinds=%d bad=%d batches=%d\n",
 				st.Delivered, st.DeliveredBytes, st.RxDups, st.TxPkts, st.Flows,
 				st.Evicted, st.Rebinds, st.BadPkts, st.RxBatches)
+			fmt.Println(classStatsLine(st))
 			return nil
+		case <-ovTick:
+			fmt.Println(classStatsLine(eng.Stats()))
 		case <-tick.C:
 			st := eng.Stats()
 			if !quiet && st.RxPkts != last.RxPkts {
@@ -262,6 +295,7 @@ func runSend(args []string) error {
 	engineMode := fs.Bool("engine", false, "run flows on the sharded event-loop engine instead of one goroutine pair per flow")
 	shards := fs.Int("shards", 2, "engine shards (with -engine; -shim forces 1, the shim tracks a single return socket)")
 	bind := fs.String("bind", "127.0.0.1", "engine shard bind IP (with -engine)")
+	statsInterval := fs.Float64("stats-interval", 0, "with -engine: print a per-class overload stats line every this many seconds (0 = off)")
 	shimFlags := newShimFlags(fs)
 	fs.Parse(args)
 
@@ -294,7 +328,7 @@ func runSend(args []string) error {
 		return exp.NewControllerRNG(rng, *proto)
 	}
 	if *engineMode {
-		return runSendEngine(dst, *proto, *flows, *maxFlows, *shards, *bind, *duration, *quiet, newCC)
+		return runSendEngine(dst, *proto, *flows, *maxFlows, *shards, *bind, *duration, *quiet, *statsInterval, newCC)
 	}
 
 	// Legacy path: one socket and one goroutine pair per flow — the
@@ -378,9 +412,11 @@ func sumSendStats(snds []*wire.Sender) wire.SenderStats {
 }
 
 // runSendEngine runs the flows on the sharded engine: a fixed set of
-// event loops, batched socket I/O, no per-flow goroutines.
+// event loops, batched socket I/O, no per-flow goroutines. Scavenger
+// protocols are tagged with the scavenger class so the receiver's
+// overload control sheds them first.
 func runSendEngine(dst *net.UDPAddr, proto string, flows, maxFlows, shards int, bind string,
-	duration float64, quiet bool, newCC func(i int) transport.Controller) error {
+	duration float64, quiet bool, statsInterval float64, newCC func(i int) transport.Controller) error {
 	perShard := 0
 	if maxFlows > 0 {
 		perShard = (maxFlows + shards - 1) / shards
@@ -396,9 +432,10 @@ func runSendEngine(dst *net.UDPAddr, proto string, flows, maxFlows, shards int, 
 		return err
 	}
 	dstAP := dst.AddrPort()
+	class := overload.ClassOf(proto)
 	handles := make([]*engine.Flow, 0, flows)
 	err = startFlows(flows, maxFlows, func(i int) error {
-		fl, err := eng.AddFlow(engine.FlowConfig{Dst: dstAP, CC: newCC(i)})
+		fl, err := eng.AddFlow(engine.FlowConfig{Dst: dstAP, CC: newCC(i), Class: class})
 		if err == nil {
 			handles = append(handles, fl)
 		}
@@ -413,6 +450,8 @@ func runSendEngine(dst *net.UDPAddr, proto string, flows, maxFlows, shards int, 
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	tick := time.NewTicker(time.Second)
 	defer tick.Stop()
+	ovTick, stopOv := statsTicker(statsInterval)
+	defer stopOv()
 	deadline := time.Now().Add(time.Duration(duration * float64(time.Second)))
 	var lastAcked int64
 	total := func() (acked, lost int64, srtt float64) {
@@ -428,6 +467,9 @@ func runSendEngine(dst *net.UDPAddr, proto string, flows, maxFlows, shards int, 
 	for {
 		select {
 		case <-sig:
+		case <-ovTick:
+			fmt.Println(classStatsLine(eng.Stats()))
+			continue
 		case <-tick.C:
 			acked, lost, srtt := total()
 			if !quiet {
@@ -444,6 +486,7 @@ func runSendEngine(dst *net.UDPAddr, proto string, flows, maxFlows, shards int, 
 		est := eng.Stats()
 		fmt.Printf("total: acked=%d bytes lost=%d srtt=%.1fms txpkts=%d txbatches=%d rxbatches=%d\n",
 			acked, lost, srtt*1e3, est.TxPkts, est.TxBatches, est.RxBatches)
+		fmt.Println(classStatsLine(est))
 		return nil
 	}
 }

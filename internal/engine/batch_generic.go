@@ -39,9 +39,20 @@ func (sh *shard) readBatch(deadline time.Time) int {
 
 // writeBatch on the fallback is a plain write loop; datagrams that
 // fail to send are dropped, exactly as a full socket buffer drops
-// them on the batched path.
+// them on the batched path. Send errors still feed the overload
+// detector's streak signal so buffer exhaustion is visible here too.
 func (sh *shard) writeBatch(pkts [][]byte, addrs []netip.AddrPort) {
+	errs := 0
 	for i, p := range pkts {
-		sh.conn.WriteToUDPAddrPort(p, addrs[i])
+		if _, err := sh.conn.WriteToUDPAddrPort(p, addrs[i]); err != nil && !isClosed(err) {
+			errs++
+		}
 	}
+	if errs > 0 {
+		sh.ctr.txSoftErrs.Add(int64(errs))
+		sh.txErrStreak++
+	} else {
+		sh.txErrStreak = 0
+	}
+	sh.txBacklog = float64(errs) / float64(len(pkts))
 }

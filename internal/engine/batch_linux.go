@@ -113,6 +113,7 @@ type mmsgState struct {
 	wTot  int
 	wErr  syscall.Errno
 	wSkip int64 // datagrams dropped on per-message send errors
+	wSoft bool  // last flush attempt hit ENOBUFS/ENOMEM (retryable)
 }
 
 func (sh *shard) initBatch() {
@@ -201,6 +202,14 @@ func (sh *shard) initBatch() {
 		if errno == syscall.EAGAIN {
 			return false // park until writable
 		}
+		if errno == syscall.ENOBUFS || errno == syscall.ENOMEM {
+			// Kernel buffer exhaustion: the message is fine, the host is
+			// not. Retryable — writeBatch backs off and resends the same
+			// offset instead of dropping.
+			m.wErr = errno
+			m.wSoft = true
+			return true
+		}
 		if errno != 0 {
 			// sendmmsg reports an errno only when the *first* message
 			// failed; skip it so the batch cannot spin, and let the
@@ -283,11 +292,51 @@ func (sh *shard) writeBatch(pkts [][]byte, addrs []netip.AddrPort) {
 	}
 	m.wOff = 0
 	sh.conn.SetWriteDeadline(time.Now().Add(10 * time.Millisecond))
+	// ENOBUFS/ENOMEM adaptive backoff: the socket stays "writable" (no
+	// netpoller park), so spinning would burn the core while starving
+	// the kernel of the grace it needs to drain. Micro-sleep with
+	// doubling instead, retrying the same offset; after the retry
+	// budget, fall back to dropping the head message so the flush
+	// always terminates inside the write deadline.
+	softSleep := 50 * time.Microsecond
+	softTries, sawSoft := 0, false
 	for m.wOff < m.wTot {
+		m.wSoft = false
 		if err := m.rc.Write(m.writeFn); err != nil {
+			sh.noteTxFlush(pkts, true)
 			return // closed or write-deadline: drop the remainder
 		}
+		if m.wSoft {
+			sawSoft = true
+			sh.ctr.txSoftErrs.Add(1)
+			if softTries++; softTries > 6 {
+				m.wSkip += int64(m.wsegs[m.wOff])
+				m.wOff++
+				continue
+			}
+			time.Sleep(softSleep)
+			if softSleep < 2*time.Millisecond {
+				softSleep *= 2
+			}
+		}
 	}
+	sh.noteTxFlush(pkts, sawSoft)
+}
+
+// noteTxFlush feeds the overload detector's tx signals after a flush:
+// the soft-error streak and the unsent fraction of this batch.
+func (sh *shard) noteTxFlush(pkts [][]byte, soft bool) {
+	m := &sh.mmsg
+	if soft {
+		sh.txErrStreak++
+	} else {
+		sh.txErrStreak = 0
+	}
+	unsent := 0
+	for i := m.wOff; i < m.wTot; i++ {
+		unsent += m.wsegs[i]
+	}
+	sh.txBacklog = float64(unsent) / float64(len(pkts))
 }
 
 // buildGSO stages the flush as segmented sendmmsg entries: packets

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"pccproteus/internal/netem"
+	"pccproteus/internal/overload"
 	"pccproteus/internal/transport"
 	"pccproteus/internal/wire"
 )
@@ -37,6 +38,12 @@ type Config struct {
 	// of an ephemeral port — for daemons that must advertise their
 	// shard addresses up front.
 	ListenPort int
+	// Overload tunes the per-shard brownout detector (zero value =
+	// overload.Config defaults).
+	Overload overload.Config
+	// Seed derives the per-shard jitter RNGs (BUSY retry backoff).
+	// Zero is a fixed default, so runs are reproducible by default.
+	Seed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +90,13 @@ type FlowConfig struct {
 	// RecordRTT keeps every per-ack RTT sample for Flow.RTTSamples —
 	// measurement harnesses only; leave off on production flows.
 	RecordRTT bool
+	// Class orders the flow under host overload: scavenger flows are
+	// paused/shed and refused admission before any primary flow is
+	// touched. The zero value is primary (never shed); use
+	// overload.ClassOf(protoName) to classify by controller name. The
+	// class is carried in the top bit of the wire flow ID so the
+	// receiving engine sheds class-aware too.
+	Class overload.Class
 }
 
 // Flow is the cross-goroutine handle for one sender flow.
@@ -142,6 +156,24 @@ type Stats struct {
 	Delivered      int64 // distinct data packets received
 	DeliveredBytes int64
 	Flows          int
+
+	// Overload surface: per-class admission/degradation counters plus
+	// the worst shard's brownout state and pressure. The invariant the
+	// shed ordering promises — and the overload gate asserts — is that
+	// ShedPrimary stays 0 while any scavenger exists to shed.
+	AdmittedPrimary   int64 // AddFlow successes per class
+	AdmittedScavenger int64
+	RejectedPrimary   int64 // primary AddFlow refusals (hard cap only)
+	RejectedScavenger int64 // scavenger refusals: local AddFlow + remote BUSY
+	ShedPrimary       int64 // primary recv flows evicted at the table cap
+	ShedScavenger     int64 // scavenger flows paused, evicted, or shed
+	BusyTx            int64 // BUSY frames sent (refusals + sheds)
+	BusyRx            int64 // BUSY frames received (we were pushed back)
+	TxSoftErrs        int64 // ENOBUFS/ENOMEM-class tx flush errors
+	Paused            int64 // local scavenger senders currently paused
+	Overload          overload.State // worst shard's current state
+	WorstOverload     overload.State // worst state any shard ever entered
+	Pressure          float64
 }
 
 // Engine runs wire flows on a fixed set of shard event loops. Create
@@ -154,6 +186,13 @@ type Engine struct {
 	rr      atomic.Uint32
 	senders atomic.Int64 // admitted sender flows, for the AddFlow cap
 	done    chan struct{}
+
+	// Per-class admission accounting (AddFlow runs on caller
+	// goroutines, so these live on the engine, not a shard).
+	admitPrim  atomic.Int64
+	admitScav  atomic.Int64
+	rejectPrim atomic.Int64
+	rejectScav atomic.Int64
 
 	started  bool
 	stopOnce sync.Once
@@ -254,31 +293,72 @@ func (e *Engine) AddFlow(fc FlowConfig) (*Flow, error) {
 		fc.Burst = transport.DefaultBurst
 	}
 	// Admission control happens here, before the flow touches a shard:
-	// a rejected flow must cost nothing.
-	cap := int64(e.cfg.Shards) * int64(e.cfg.MaxFlowsPerShard)
-	if e.senders.Add(1) > cap {
+	// a rejected flow must cost nothing. The shard is picked first so
+	// scavenger admission can be gated on that shard's brownout state.
+	sh := e.shards[int(e.rr.Add(1)-1)%len(e.shards)]
+	if fc.Class == overload.ClassScavenger {
+		if st := sh.overloadState(); !st.AdmitScavenger() {
+			e.rejectScav.Add(1)
+			return nil, fmt.Errorf("engine: shard %d %s: scavenger admission refused", sh.idx, st)
+		}
+	}
+	flowCap := int64(e.cfg.Shards) * int64(e.cfg.MaxFlowsPerShard)
+	if e.senders.Add(1) > flowCap {
 		e.senders.Add(-1)
-		return nil, fmt.Errorf("engine: flow cap %d reached", cap)
+		if fc.Class == overload.ClassScavenger {
+			e.rejectScav.Add(1)
+		} else {
+			e.rejectPrim.Add(1)
+		}
+		return nil, fmt.Errorf("engine: flow cap %d reached", flowCap)
 	}
 	id := e.nextID.Add(1)
+	if fc.Class == overload.ClassScavenger {
+		// The class rides the top bit of the wire flow ID, so the
+		// receiving engine sheds class-aware without extra header bytes.
+		id |= wire.FlowClassScavenger
+	}
 	s := &senderFlow{
 		cc: fc.CC, limit: fc.Limit, burst: fc.Burst,
 		packetSize: fc.PacketSize, done: make(chan struct{}),
-		recordRTT: fc.RecordRTT,
+		recordRTT: fc.RecordRTT, class: fc.Class,
 	}
 	s.pacer.Cap = float64(2 * fc.Burst * fc.PacketSize)
-	sh := e.shards[int(e.rr.Add(1)-1)%len(e.shards)]
 	f := &flow{
 		key: flowKey{addr: netip.AddrPortFrom(fc.Dst.Addr().Unmap(), fc.Dst.Port()), id: id},
 		snd: s,
+	}
+	if fc.Class == overload.ClassScavenger {
+		e.admitScav.Add(1)
+	} else {
+		e.admitPrim.Add(1)
 	}
 	sh.enqueue(f)
 	return &Flow{id: id, dst: fc.Dst, s: s}, nil
 }
 
+// severityState maps a stored worst-severity rank back to the state
+// that rank represents (the inverse of overload.State.Severity).
+func severityState(sev uint32) overload.State {
+	switch sev {
+	case 1:
+		return overload.StateRecover
+	case 2:
+		return overload.StateBrownout
+	case 3:
+		return overload.StateShed
+	}
+	return overload.StateNormal
+}
+
 // Stats aggregates all shards.
 func (e *Engine) Stats() Stats {
-	var st Stats
+	st := Stats{
+		AdmittedPrimary:   e.admitPrim.Load(),
+		AdmittedScavenger: e.admitScav.Load(),
+		RejectedPrimary:   e.rejectPrim.Load(),
+		RejectedScavenger: e.rejectScav.Load(),
+	}
 	for _, sh := range e.shards {
 		st.RxPkts += sh.ctr.rxPkts.Load()
 		st.RxBatches += sh.ctr.rxBatches.Load()
@@ -292,6 +372,22 @@ func (e *Engine) Stats() Stats {
 		st.Delivered += sh.ctr.delivered.Load()
 		st.DeliveredBytes += sh.ctr.deliveredBytes.Load()
 		st.Flows += int(sh.flowGauge.Load())
+		st.RejectedScavenger += sh.ctr.rejectScav.Load()
+		st.ShedPrimary += sh.ctr.shedPrim.Load()
+		st.ShedScavenger += sh.ctr.shedScav.Load()
+		st.BusyTx += sh.ctr.busyTx.Load()
+		st.BusyRx += sh.ctr.busyRx.Load()
+		st.TxSoftErrs += sh.ctr.txSoftErrs.Load()
+		st.Paused += sh.ctr.paused.Load()
+		if s := sh.overloadState(); s.Severity() > st.Overload.Severity() {
+			st.Overload = s
+		}
+		if w := severityState(sh.ovWorst.Load()); w.Severity() > st.WorstOverload.Severity() {
+			st.WorstOverload = w
+		}
+		if p := sh.pressureMirror(); p > st.Pressure {
+			st.Pressure = p
+		}
 	}
 	return st
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pccproteus/internal/overload"
 	"pccproteus/internal/transport"
 	"pccproteus/internal/wire"
 )
@@ -96,6 +97,15 @@ type senderFlow struct {
 	revBase      float64
 	revCal       bool
 
+	// Overload state. class fixes who yields under host pressure;
+	// paused is set by the owning shard's Shed action (emission stops,
+	// RTO aging continues); busyUntil/busyStreak implement the jittered
+	// exponential backoff a peer's BUSY frames demand.
+	class      overload.Class
+	paused     bool
+	busyUntil  float64
+	busyStreak int
+
 	// Cross-goroutine stats surface (Flow.Stats reads these).
 	sentPkts   atomic.Int64
 	sentBytes  atomic.Int64
@@ -127,6 +137,18 @@ func (s *senderFlow) pump(sh *shard, f *flow, now float64) float64 {
 	}
 	if s.completed && len(s.unacked) == 0 {
 		return 0 // fully acked finite transfer: nothing to schedule
+	}
+	// Pushed back or shed: no emission, but keep waking on the RTO
+	// cadence so loss aging (and an eventual busy expiry) still run.
+	if s.paused {
+		return now + rtoCheckEvery
+	}
+	if now < s.busyUntil {
+		next := s.busyUntil
+		if d := now + rtoCheckEvery; d < next {
+			next = d
+		}
+		return next
 	}
 	rate := s.pacingRate()
 	s.pacer.Advance(now, rate)
@@ -195,11 +217,44 @@ func (s *senderFlow) emit(sh *shard, f *flow, now, virt float64, size int) {
 	sh.queueTx(pkt, f.key.addr)
 }
 
+// Busy-backoff bounds: the exponent stops doubling after
+// maxBusyDoublings steps and the computed backoff never exceeds
+// maxBusyBackoff seconds, so a long brownout cannot push a scavenger's
+// retry horizon past recovery-detection usefulness.
+const (
+	maxBusyDoublings = 7
+	maxBusyBackoff   = 30.0
+)
+
+// onBusy applies one BUSY push-back frame: back off for the peer's
+// retry-after hint, doubled per consecutive BUSY and jittered to
+// ±25% so a cohort of refused scavengers does not retry in lockstep.
+func (s *senderFlow) onBusy(sh *shard, bp wire.BusyPacket, now float64) {
+	if s.busyStreak < maxBusyDoublings {
+		s.busyStreak++
+	}
+	backoff := float64(bp.RetryAfterMillis) / 1000
+	for i := 1; i < s.busyStreak; i++ {
+		backoff *= 2
+	}
+	if backoff > maxBusyBackoff {
+		backoff = maxBusyBackoff
+	}
+	until := now + backoff*(0.75+0.5*sh.rng.Float64())
+	if until > s.busyUntil {
+		s.busyUntil = until
+	}
+	// No back-credit for the pause: re-anchor the pacing timeline when
+	// emission resumes.
+	s.schedAnchor = false
+}
+
 // onAck applies one decoded ack: retire covered packets with
 // controller callbacks, run RACK-style loss detection, prune.
 func (s *senderFlow) onAck(sh *shard, f *flow, a *wire.AckPacket, now float64) {
 	s.lastAckAt = now
 	s.rtoBackoff = 0
+	s.busyStreak = 0
 	if a.Seq > s.maxSack {
 		s.maxSack = a.Seq
 	}

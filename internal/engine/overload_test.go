@@ -1,0 +1,422 @@
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pccproteus/internal/overload"
+	"pccproteus/internal/wire"
+)
+
+const scavBit = wire.FlowClassScavenger
+
+// addLocalSender inserts a socketless sender flow into sh's table, the
+// way hotpathHarness does, so shed/pause behavior is testable without
+// sockets.
+func addLocalSender(sh *shard, id uint32, class overload.Class) *flow {
+	s := &senderFlow{
+		cc:         &FixedRateCC{Rate: 1, Win: 400},
+		burst:      1,
+		packetSize: 400,
+		done:       make(chan struct{}),
+		class:      class,
+	}
+	s.pacer.Cap = 800
+	f := &flow{key: flowKey{addr: src(uint16(30000 + id)), id: id}, snd: s}
+	sh.flows[f.key] = f
+	sh.flowGauge.Store(int64(len(sh.flows)))
+	return f
+}
+
+func TestScavengerAdmissionRefusedUnderBrownout(t *testing.T) {
+	sh := newTestShard(t, Config{})
+	sh.busyBudget = sh.batchSize
+	// Force Brownout directly on the shard-owned detector.
+	sh.det.Update(0, overload.Signals{FlowOccupancy: 0.9})
+
+	// A new scavenger flow is refused: no state, a BUSY goes back.
+	sh.dispatch(src(1000), dataPkt(t, 1|scavBit, 0, 100), 0)
+	if len(sh.flows) != 0 {
+		t.Fatalf("scavenger admitted under brownout: %d flows", len(sh.flows))
+	}
+	if r := sh.ctr.rejectScav.Load(); r != 1 {
+		t.Fatalf("rejectScav=%d want 1", r)
+	}
+	if b := sh.ctr.busyTx.Load(); b != 1 {
+		t.Fatalf("busyTx=%d want 1", b)
+	}
+	if len(sh.txq) != 1 || wire.PacketType(sh.txq[0]) != 'Y' {
+		t.Fatalf("expected one staged BUSY frame, txq=%d", len(sh.txq))
+	}
+	bp, err := wire.DecodeBusy(sh.txq[0])
+	if err != nil || bp.Flow != 1|scavBit || bp.Shed {
+		t.Fatalf("busy frame %+v err=%v", bp, err)
+	}
+
+	// A primary flow is untouched by brownout.
+	sh.dispatch(src(1001), dataPkt(t, 2, 0, 100), 0)
+	if len(sh.flows) != 1 {
+		t.Fatal("primary admission must not be gated on brownout")
+	}
+
+	// Back to Normal: the scavenger gets in.
+	sh.det.Update(1, overload.Signals{})
+	sh.det.Update(3, overload.Signals{}) // recover hold elapses
+	sh.dispatch(src(1000), dataPkt(t, 1|scavBit, 0, 100), 3)
+	if len(sh.flows) != 2 {
+		t.Fatal("scavenger not admitted after recovery")
+	}
+}
+
+func TestCapEvictionPrefersScavenger(t *testing.T) {
+	sh := newTestShard(t, Config{MaxFlowsPerShard: 3})
+	sh.busyBudget = sh.batchSize
+	// Stalest flow is a primary; a fresher scavenger must still be the
+	// eviction victim.
+	sh.dispatch(src(1000), dataPkt(t, 1, 0, 100), 0)         // primary, stalest
+	sh.dispatch(src(1001), dataPkt(t, 2|scavBit, 0, 100), 5) // scavenger, fresh
+	sh.dispatch(src(1002), dataPkt(t, 3, 0, 100), 6)         // primary
+	sh.dispatch(src(1003), dataPkt(t, 4, 0, 100), 7)         // over cap
+	if len(sh.flows) != 3 {
+		t.Fatalf("flows=%d want 3", len(sh.flows))
+	}
+	if _, ok := sh.flows[flowKey{addr: src(1001), id: 2 | scavBit}]; ok {
+		t.Fatal("scavenger survived eviction while a primary was dropped")
+	}
+	if _, ok := sh.flows[flowKey{addr: src(1000), id: 1}]; !ok {
+		t.Fatal("stalest primary was evicted despite a scavenger victim")
+	}
+	if s, p := sh.ctr.shedScav.Load(), sh.ctr.shedPrim.Load(); s != 1 || p != 0 {
+		t.Fatalf("shedScav=%d shedPrim=%d want 1,0", s, p)
+	}
+	if b := sh.ctr.busyTx.Load(); b != 1 {
+		t.Fatalf("busyTx=%d want 1 (evicted scavenger gets a shed BUSY)", b)
+	}
+
+	// With only primaries left, cap pressure evicts stalest-primary and
+	// counts it against the primary class.
+	sh2 := newTestShard(t, Config{MaxFlowsPerShard: 2})
+	sh2.busyBudget = sh2.batchSize
+	sh2.dispatch(src(1000), dataPkt(t, 1, 0, 100), 0)
+	sh2.dispatch(src(1001), dataPkt(t, 2, 0, 100), 1)
+	sh2.dispatch(src(1002), dataPkt(t, 3, 0, 100), 2)
+	if sh2.ctr.shedPrim.Load() != 1 {
+		t.Fatal("all-primary cap eviction must count as a primary shed")
+	}
+	if _, ok := sh2.flows[flowKey{addr: src(1000), id: 1}]; ok {
+		t.Fatal("stalest primary should have been the victim")
+	}
+}
+
+func TestShedPausesLocalScavengersOnly(t *testing.T) {
+	sh := newTestShard(t, Config{})
+	prim := addLocalSender(sh, 1, overload.ClassPrimary)
+	scav := addLocalSender(sh, 2|scavBit, overload.ClassScavenger)
+	// Also a scavenger receiver flow: Shed must evict it with a BUSY.
+	sh.dispatch(src(2000), dataPkt(t, 9|scavBit, 0, 100), 0)
+
+	sh.txErrStreak = 32 // ENOBUFS streak: full-strength pressure
+	sh.updateOverload(1)
+	if got := sh.det.State(); got != overload.StateShed {
+		t.Fatalf("state %v want shed", got)
+	}
+	if !scav.snd.paused || prim.snd.paused {
+		t.Fatalf("paused: scav=%v prim=%v want true,false", scav.snd.paused, prim.snd.paused)
+	}
+	if sh.ctr.paused.Load() != 1 {
+		t.Fatalf("paused gauge %d want 1", sh.ctr.paused.Load())
+	}
+	if _, ok := sh.flows[flowKey{addr: src(2000), id: 9 | scavBit}]; ok {
+		t.Fatal("scavenger receiver flow not shed")
+	}
+	if sh.ctr.shedScav.Load() != 2 || sh.ctr.shedPrim.Load() != 0 {
+		t.Fatalf("shedScav=%d shedPrim=%d want 2,0",
+			sh.ctr.shedScav.Load(), sh.ctr.shedPrim.Load())
+	}
+	// A paused sender still wakes (RTO aging) but emits nothing.
+	if next := scav.snd.pump(sh, scav, 1); next <= 1 {
+		t.Fatalf("paused pump returned %v, want a future wake", next)
+	}
+	if scav.snd.sentPkts.Load() != 0 {
+		t.Fatal("paused scavenger emitted")
+	}
+
+	// Streak clears: Recover resumes the paused sender.
+	sh.txErrStreak = 0
+	sh.updateOverload(2)
+	if got := sh.det.State(); got != overload.StateRecover {
+		t.Fatalf("state %v want recover", got)
+	}
+	if scav.snd.paused || sh.ctr.paused.Load() != 0 {
+		t.Fatal("recover did not resume the paused scavenger")
+	}
+}
+
+func TestBusyBackoffJitteredExponential(t *testing.T) {
+	sh := newTestShard(t, Config{})
+	f := addLocalSender(sh, 1|scavBit, overload.ClassScavenger)
+	s := f.snd
+	bp := wire.BusyPacket{Flow: f.key.id, RetryAfterMillis: 200}
+	prev := 0.0
+	for i := 1; i <= 4; i++ {
+		s.busyUntil = 0 // isolate each step's backoff
+		s.onBusy(sh, bp, 0)
+		got := s.busyUntil
+		base := 0.2
+		for j := 1; j < i; j++ {
+			base *= 2
+		}
+		if got < base*0.75-1e-9 || got > base*1.25+1e-9 {
+			t.Fatalf("streak %d: backoff %.3fs outside [%.3f, %.3f]",
+				i, got, base*0.75, base*1.25)
+		}
+		if got <= prev/2 {
+			t.Fatalf("backoff not growing: %v after %v", got, prev)
+		}
+		prev = got
+	}
+	// The cap: a long streak cannot push the horizon past maxBusyBackoff.
+	for i := 0; i < 20; i++ {
+		s.onBusy(sh, bp, 0)
+	}
+	if s.busyUntil > maxBusyBackoff*1.25 {
+		t.Fatalf("backoff %v exceeds cap", s.busyUntil)
+	}
+	// While busy, pump emits nothing and wakes no later than busyUntil.
+	s.busyUntil = 5
+	if next := s.pump(sh, f, 1); next > 5 {
+		t.Fatalf("busy pump wake %v after busyUntil", next)
+	}
+	if s.sentPkts.Load() != 0 {
+		t.Fatal("busy flow emitted")
+	}
+	// An ack resets the streak (the peer is serving us again).
+	var a wire.AckPacket
+	s.onAck(sh, f, &a, 6)
+	if s.busyStreak != 0 {
+		t.Fatalf("busyStreak=%d after ack, want 0", s.busyStreak)
+	}
+}
+
+// TestShedCycleZeroAlloc is the "zero memory growth during Shed" gate
+// at its sharpest: a full Shed→Recover→Normal cycle over a populated
+// shard allocates nothing once warm, so no amount of overload dwell
+// can grow the heap.
+func TestShedCycleZeroAlloc(t *testing.T) {
+	sh := newTestShard(t, Config{})
+	for i := uint32(0); i < 8; i++ {
+		addLocalSender(sh, 100+i|scavBit, overload.ClassScavenger)
+		addLocalSender(sh, 200+i, overload.ClassPrimary)
+	}
+	now := 0.0
+	cycle := func() {
+		now += 1
+		sh.txErrStreak = 32
+		sh.updateOverload(now) // → Shed: pause scavengers
+		sh.fireNow = now
+		sh.wh.advance(now, sh.fireFn)
+		sh.txErrStreak = 0
+		now += 1
+		sh.updateOverload(now) // → Recover: resume
+		now += 1.1
+		sh.updateOverload(now) // hold elapsed → Normal
+		sh.fireNow = now
+		sh.wh.advance(now, sh.fireFn)
+		sh.flushTx()
+	}
+	// Warm thoroughly: each cycle advances time by 3.1s, so armed
+	// deadlines walk the wheel's 512 slots with a 64-cycle period —
+	// every slot the measurement can touch must have grown its slice
+	// capacity first.
+	for i := 0; i < 200; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("shed/recover cycle allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// overloadGateConfig is the scaled acceptance scenario: 6 primaries on
+// a 24-slot receiver hit by a 4× scavenger flood.
+func overloadGateConfig() OverloadConfig {
+	flood := 2.0
+	if raceEnabled {
+		flood = 1.5
+	}
+	return OverloadConfig{
+		PrimaryFlows: 6,
+		PrimaryRate:  2e5,
+		ScavRate:     1e5,
+		RecvFlowCap:  24,
+		BatchSize:    256,
+		PacketSize:   400,
+		Warmup:       time.Second,
+		Cooldown:     5 * time.Second,
+		Overload:     overload.Config{RecoverHold: 0.4},
+		Plan: overload.Plan{Phases: []overload.Phase{
+			{Kind: overload.KindFlood, At: 0, Dur: flood, Flows: 24},
+		}},
+	}
+}
+
+// TestOverloadFloodGate is the ISSUE acceptance gate: through a 4×
+// scavenger flood, only S-class flows are shed, primary goodput holds
+// within 10%, recovery lands within 3 s of load removal, and goroutine
+// count returns to baseline.
+func TestOverloadFloodGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second loopback scenario")
+	}
+	before := runtime.NumGoroutine()
+	var duringMax atomic.Int64
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if n := int64(runtime.NumGoroutine()); n > duringMax.Load() {
+					duringMax.Store(n)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+	}()
+
+	res, err := RunOverload(overloadGateConfig())
+	close(stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pre=%.0f load=%.0f post=%.0f B/s recovery=%.2fs worst=%v recv=%+v",
+		res.PreGoodput, res.LoadGoodput, res.PostGoodput,
+		res.RecoverySecs, res.WorstState, res.Recv)
+
+	if res.WorstState != overload.StateShed {
+		t.Errorf("worst state %v, want shed (the flood must trip shedding)", res.WorstState)
+	}
+	if res.Recv.ShedScavenger == 0 {
+		t.Error("no scavenger sheds under a 4× flood")
+	}
+	if res.Recv.ShedPrimary != 0 {
+		t.Errorf("shed %d primary flows — class ordering violated", res.Recv.ShedPrimary)
+	}
+	if res.Recv.RejectedPrimary != 0 {
+		t.Errorf("rejected %d primary admissions", res.Recv.RejectedPrimary)
+	}
+	if res.Recv.RejectedScavenger == 0 {
+		t.Error("no remote scavenger refusals — admission gate never closed")
+	}
+	if res.Load.BusyRx == 0 {
+		t.Error("flood senders never saw a BUSY push-back")
+	}
+	if res.LoadGoodput < 0.9*res.PreGoodput {
+		t.Errorf("primary goodput under flood %.0f < 90%% of pre-flood %.0f",
+			res.LoadGoodput, res.PreGoodput)
+	}
+	if res.RecoverySecs < 0 || res.RecoverySecs > 3 {
+		t.Errorf("recovery %.2fs outside (0, 3]", res.RecoverySecs)
+	}
+	if res.PostGoodput < 0.9*res.PreGoodput {
+		t.Errorf("post-recovery goodput %.0f < 90%% of pre-flood %.0f",
+			res.PostGoodput, res.PreGoodput)
+	}
+
+	// Goroutines: bounded while shedding (phase engine + monitors),
+	// and back to baseline once the harness tears down.
+	if max := duringMax.Load(); max > int64(before)+16 {
+		t.Errorf("goroutines grew to %d during the flood (baseline %d)", max, before)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines %d after teardown, baseline %d", after, before)
+	}
+}
+
+// TestOverloadAckStarve drives the slow-receiver scenario: a starved
+// population aimed at a mute endpoint sheds (pauses) its scavengers
+// first and never touches a primary.
+func TestOverloadAckStarve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second loopback scenario")
+	}
+	cfg := overloadGateConfig()
+	cfg.RecvFlowCap = 16
+	cfg.Plan = overload.Plan{Phases: []overload.Phase{
+		{Kind: overload.KindAckStarve, At: 0, Dur: 1.2, Flows: 40},
+	}}
+	res, err := RunOverload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("load=%+v addErrs=%d", res.Load, res.LoadAddErrs)
+	if res.Load.Overload != overload.StateShed {
+		t.Errorf("starved engine state %v, want shed", res.Load.Overload)
+	}
+	if res.Load.ShedScavenger == 0 || res.Load.Paused == 0 {
+		t.Errorf("no scavengers paused under ack starvation: %+v", res.Load)
+	}
+	if res.Load.ShedPrimary != 0 {
+		t.Errorf("ack starvation shed %d primaries", res.Load.ShedPrimary)
+	}
+	if res.LoadAddErrs == 0 {
+		t.Error("starved engine never refused an admission at cap")
+	}
+	// The starved population is off on its own engine: the main
+	// receiver must be completely unaffected.
+	if res.Recv.ShedScavenger != 0 || res.Recv.Overload != overload.StateNormal {
+		t.Errorf("receiver disturbed by ack-starve phase: %+v", res.Recv)
+	}
+}
+
+// TestAddFlowScavengerGate covers the local admission path: a shard in
+// Brownout refuses new scavenger AddFlow but admits primaries.
+func TestAddFlowScavengerGate(t *testing.T) {
+	eng, err := New(Config{MaxFlowsPerShard: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Force the single shard's mirror into Brownout.
+	eng.shards[0].ovState.Store(uint32(overload.StateBrownout))
+	dst := eng.Addrs()[0]
+	if _, err := eng.AddFlow(FlowConfig{
+		Dst: dst, CC: &FixedRateCC{Rate: 1}, Class: overload.ClassScavenger,
+	}); err == nil {
+		t.Fatal("scavenger AddFlow admitted under brownout")
+	}
+	if eng.Stats().RejectedScavenger != 1 {
+		t.Fatalf("RejectedScavenger=%d want 1", eng.Stats().RejectedScavenger)
+	}
+	fl, err := eng.AddFlow(FlowConfig{Dst: dst, CC: &FixedRateCC{Rate: 1}})
+	if err != nil {
+		t.Fatalf("primary AddFlow refused under brownout: %v", err)
+	}
+	if wire.ScavengerID(fl.ID()) {
+		t.Fatal("primary flow carries the scavenger class bit")
+	}
+	// Back to normal: scavenger admitted, class bit set on the wire ID.
+	eng.shards[0].ovState.Store(uint32(overload.StateNormal))
+	sfl, err := eng.AddFlow(FlowConfig{
+		Dst: dst, CC: &FixedRateCC{Rate: 1}, Class: overload.ClassScavenger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wire.ScavengerID(sfl.ID()) {
+		t.Fatal("scavenger flow ID missing the class bit")
+	}
+	st := eng.Stats()
+	if st.AdmittedPrimary != 1 || st.AdmittedScavenger != 1 {
+		t.Fatalf("admitted P=%d S=%d want 1,1", st.AdmittedPrimary, st.AdmittedScavenger)
+	}
+}

@@ -2,12 +2,14 @@ package engine
 
 import (
 	"math"
+	"math/rand"
 	"net"
 	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pccproteus/internal/overload"
 	"pccproteus/internal/wire"
 )
 
@@ -31,6 +33,15 @@ type shardCounters struct {
 	rebinds        atomic.Int64 // reused (addr,flowID) collisions reset
 	delivered      atomic.Int64 // distinct data packets received
 	deliveredBytes atomic.Int64
+
+	// Overload surface (see engine.Stats for field meanings).
+	rejectScav atomic.Int64 // remote scavenger admissions refused (BUSY)
+	shedPrim   atomic.Int64 // primary recv flows evicted at the cap
+	shedScav   atomic.Int64 // scavenger flows paused/evicted/shed
+	busyTx     atomic.Int64
+	busyRx     atomic.Int64
+	txSoftErrs atomic.Int64 // ENOBUFS/ENOMEM-class tx flush errors
+	paused     atomic.Int64 // local scavenger senders currently paused
 }
 
 // shard is one event loop: one socket, one flow table, one pacing
@@ -84,6 +95,21 @@ type shard struct {
 	lastSweep float64
 	flowGauge atomic.Int64
 
+	// Overload machinery: the brownout detector (loop-goroutine-owned)
+	// plus atomic mirrors of its state/pressure for AddFlow and Stats.
+	det        *overload.Detector
+	ovState    atomic.Uint32
+	ovWorst    atomic.Uint32 // worst severity ever entered (Shed dwells are brief)
+	ovPressure atomic.Uint64 // math.Float64bits
+	rng        *rand.Rand    // loop-owned jitter source
+	// Pressure-signal inputs maintained by the I/O paths: consecutive
+	// soft-error tx flushes, the unsent fraction of the last flush, and
+	// an EWMA of reads that filled every rx slot.
+	txErrStreak int
+	txBacklog   float64
+	rxFullEWMA  float64
+	busyBudget  int // per-pass BUSY frame allowance (anti-amplification)
+
 	ctr shardCounters
 }
 
@@ -102,6 +128,8 @@ func newShard(eng *Engine, idx int, conn *net.UDPConn) *shard {
 		rxSegs:    make([]int, cfg.BatchSize),
 		txq:       make([][]byte, 0, cfg.BatchSize),
 		txAddrs:   make([]netip.AddrPort, 0, cfg.BatchSize),
+		det:       overload.NewDetector(cfg.Overload),
+		rng:       rand.New(rand.NewSource(wire.MixSeed(cfg.Seed, int64(idx)+0x0B5E))),
 	}
 	for i := range sh.rxBufs {
 		sh.rxBufs[i] = make([]byte, cfg.MaxPacket)
@@ -132,6 +160,7 @@ func (sh *shard) loop() {
 		sh.fireNow = now
 		sh.wh.advance(now, sh.fireFn)
 		sh.sweep(now)
+		sh.updateOverload(now)
 		sh.flushTx()
 
 		dur := maxLoopSleep
@@ -148,6 +177,14 @@ func (sh *shard) loop() {
 		if n < 0 {
 			return // socket closed
 		}
+		// Rx saturation EWMA: a read that fills every slot means the
+		// shard is not keeping up with arrival; an idle or partial read
+		// decays the signal, so pressure falls once load is removed.
+		full := 0.0
+		if n >= len(sh.rxBufs) {
+			full = 1.0
+		}
+		sh.rxFullEWMA += (full - sh.rxFullEWMA) / 32
 		if n > 0 {
 			sh.ctr.rxBatches.Add(1)
 			now = sh.clock.Now()
@@ -185,6 +222,9 @@ func (sh *shard) dispatch(src netip.AddrPort, b []byte, now float64) {
 		f := sh.flows[key]
 		if f == nil {
 			f = sh.newRecvFlow(key, now)
+			if f == nil {
+				return // scavenger admission refused (BUSY already sent)
+			}
 		}
 		if f.rcv == nil {
 			sh.ctr.bad.Add(1) // data aimed at one of our sender keys
@@ -210,6 +250,21 @@ func (sh *shard) dispatch(src netip.AddrPort, b []byte, now float64) {
 		// The ack may have freed window or completed a loss episode:
 		// service immediately instead of waiting out the armed deadline.
 		sh.service(f, now)
+	case 'Y':
+		bp, err := wire.DecodeBusy(b)
+		if err != nil {
+			sh.ctr.bad.Add(1)
+			return
+		}
+		f := sh.flows[flowKey{addr: src, id: bp.Flow}]
+		if f == nil || f.snd == nil {
+			sh.ctr.badAcks.Add(1)
+			return
+		}
+		sh.ctr.busyRx.Add(1)
+		f.lastSeen = now
+		f.snd.onBusy(sh, bp, now)
+		sh.service(f, now) // re-arm against the new busy deadline
 	default:
 		sh.ctr.bad.Add(1)
 	}
@@ -235,21 +290,45 @@ func (sh *shard) service(f *flow, now float64) {
 
 // newRecvFlow admits an unknown (addr, flowID) as a receiver flow,
 // evicting the stalest receiver flow at the cap — sender flows are
-// never evicted for table pressure.
+// never evicted for table pressure. Admission and eviction are both
+// class-aware: from Brownout on, new scavenger flows are refused with
+// a BUSY frame (and nil is returned — no state is kept for them), and
+// at the cap the stalest *scavenger* receiver is evicted before any
+// primary is considered.
 func (sh *shard) newRecvFlow(key flowKey, now float64) *flow {
+	scav := wire.ScavengerID(key.id)
+	if scav && !sh.det.State().AdmitScavenger() {
+		sh.ctr.rejectScav.Add(1)
+		sh.sendBusy(key, false)
+		return nil
+	}
 	if len(sh.flows) >= sh.maxFlows {
 		var oldKey flowKey
 		var old *flow
+		oldScav := false
 		oldest := now + 1
 		for k, f := range sh.flows {
-			if f.rcv != nil && f.lastSeen < oldest {
-				oldest = f.lastSeen
-				oldKey, old = k, f
+			if f.rcv == nil {
+				continue
 			}
+			fs := wire.ScavengerID(k.id)
+			// A scavenger victim always beats a primary one; within a
+			// class, stalest wins.
+			if old != nil && (oldScav && !fs || oldScav == fs && f.lastSeen >= oldest) {
+				continue
+			}
+			oldest = f.lastSeen
+			oldKey, old, oldScav = k, f, fs
 		}
 		if old != nil {
 			sh.dropFlow(oldKey, old)
 			sh.ctr.evicted.Add(1)
+			if oldScav {
+				sh.ctr.shedScav.Add(1)
+				sh.sendBusy(oldKey, true)
+			} else {
+				sh.ctr.shedPrim.Add(1)
+			}
 		}
 	}
 	f := &flow{key: key, rcv: &recvFlow{highest: -1}}
@@ -278,10 +357,114 @@ func (sh *shard) sweep(now float64) {
 	}
 }
 
+// busyRetryMillis is the retry-after hint on refusal/shed BUSY frames:
+// the base of the sender's jittered exponential backoff. Comfortably
+// above RecoverHold granularity so one backoff step usually clears a
+// transient brownout, short enough that recovery lands well inside the
+// 3 s budget.
+const busyRetryMillis = 250
+
+// updateOverload samples this shard's pressure signals, advances the
+// brownout machine, and applies transitions: entering Shed pauses
+// local scavenger senders and evicts scavenger receiver flows (BUSY
+// shed=true); leaving Shed resumes the paused senders. Runs once per
+// loop pass — four float compares in the steady state.
+func (sh *shard) updateOverload(now float64) {
+	sh.busyBudget = sh.batchSize
+	prev := sh.det.State()
+	st := sh.det.Update(now, overload.Signals{
+		FlowOccupancy: float64(len(sh.flows)) / float64(sh.maxFlows),
+		TxBacklog:     sh.txBacklog,
+		RxSaturation:  sh.rxFullEWMA,
+		SendErrStreak: sh.txErrStreak,
+	})
+	sh.ovState.Store(uint32(st))
+	sh.ovPressure.Store(math.Float64bits(sh.det.Pressure()))
+	if st == prev {
+		return
+	}
+	if w := uint32(st.Severity()); w > sh.ovWorst.Load() {
+		sh.ovWorst.Store(w)
+	}
+	if st == overload.StateShed {
+		sh.shedScavengers()
+	} else if prev == overload.StateShed {
+		sh.resumeScavengers(now)
+	}
+}
+
+// shedScavengers applies the Shed action: every local scavenger sender
+// is paused (state kept, emission stopped) and every scavenger
+// receiver flow is evicted with a shed BUSY. Primary flows are not
+// touched — that is the entire point of the class ordering.
+func (sh *shard) shedScavengers() {
+	for k, f := range sh.flows {
+		if f.snd != nil {
+			if f.snd.class == overload.ClassScavenger && !f.snd.paused {
+				f.snd.paused = true
+				sh.ctr.paused.Add(1)
+				sh.ctr.shedScav.Add(1)
+			}
+			continue
+		}
+		if wire.ScavengerID(k.id) {
+			sh.dropFlow(k, f)
+			sh.ctr.shedScav.Add(1)
+			sh.sendBusy(k, true)
+		}
+	}
+}
+
+// resumeScavengers unpauses local scavenger senders on leaving Shed
+// and services them so their pacing deadlines re-arm. Evicted receiver
+// flows need nothing: their senders retry after backoff and re-admit
+// once the shard returns to Normal.
+func (sh *shard) resumeScavengers(now float64) {
+	for _, f := range sh.flows {
+		if f.snd != nil && f.snd.paused {
+			f.snd.paused = false
+			sh.ctr.paused.Add(-1)
+			sh.service(f, now)
+		}
+	}
+}
+
+// sendBusy queues one BUSY push-back frame for key's peer, bounded by
+// the per-pass budget so a flood of refused admissions cannot amplify
+// into a flood of BUSY traffic (the refusal is still counted; the
+// sender's own RTO covers a lost frame).
+func (sh *shard) sendBusy(key flowKey, shed bool) {
+	if sh.busyBudget <= 0 {
+		return
+	}
+	sh.busyBudget--
+	buf := sh.txBuf()
+	pkt := wire.EncodeBusy(buf, wire.BusyPacket{
+		Flow: key.id, RetryAfterMillis: busyRetryMillis, Shed: shed,
+	})
+	sh.queueTx(pkt, key.addr)
+	sh.ctr.busyTx.Add(1)
+}
+
+// overloadState is the cross-goroutine mirror of the detector state
+// (AddFlow admission gate, Stats).
+func (sh *shard) overloadState() overload.State {
+	return overload.State(sh.ovState.Load())
+}
+
+// pressureMirror is the cross-goroutine mirror of the last pressure.
+func (sh *shard) pressureMirror() float64 {
+	return math.Float64frombits(sh.ovPressure.Load())
+}
+
 func (sh *shard) dropFlow(key flowKey, f *flow) {
 	if f.armed {
 		f.armed = false
 		sh.wh.armed--
+	}
+	if f.snd != nil && f.snd.paused {
+		f.snd.paused = false
+		sh.ctr.paused.Add(-1)
 	}
 	f.gen++ // lazily cancels any queued wheel entry
 	delete(sh.flows, key)
@@ -306,6 +489,14 @@ func (sh *shard) admit() {
 	for _, f := range q {
 		sh.flows[f.key] = f
 		f.lastSeen = now
+		// A scavenger admitted while the shard is shedding raced the
+		// AddFlow gate; it starts paused and resumes with the rest.
+		if f.snd != nil && f.snd.class == overload.ClassScavenger &&
+			!f.snd.paused && sh.det.State().Shedding() {
+			f.snd.paused = true
+			sh.ctr.paused.Add(1)
+			sh.ctr.shedScav.Add(1)
+		}
 		sh.service(f, now)
 	}
 	sh.flowGauge.Store(int64(len(sh.flows)))

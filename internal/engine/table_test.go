@@ -138,6 +138,52 @@ func TestFlowTableCapEvictsStalestReceiver(t *testing.T) {
 	}
 }
 
+func TestFlowTableRebindAtCapDoesNotEvict(t *testing.T) {
+	// A restarted sender reusing its (addr, flowID) while the shard's
+	// table is full must rebind in place: the collision resolves on the
+	// existing entry, so it must not race the cap's admission/eviction
+	// path — no eviction, no new flow, and the rebound flow is fresh
+	// enough to survive the next genuine admission.
+	sh := newTestShard(t, Config{MaxFlowsPerShard: 4})
+	for i := 0; i < 4; i++ {
+		for seq := int64(0); seq < 20; seq++ {
+			sh.dispatch(src(uint16(1000+i)), dataPkt(t, uint32(i+1), seq, 100), float64(i))
+		}
+	}
+	if len(sh.flows) != 4 || sh.ctr.evicted.Load() != 0 {
+		t.Fatalf("setup: flows=%d evicted=%d", len(sh.flows), sh.ctr.evicted.Load())
+	}
+
+	// Restart collision on the stalest key, at the cap, at a late time.
+	sh.dispatch(src(1000), dataPkt(t, 1, 0, 100), 10)
+	if got := sh.ctr.rebinds.Load(); got != 1 {
+		t.Fatalf("rebinds=%d want 1", got)
+	}
+	if e := sh.ctr.evicted.Load(); e != 0 {
+		t.Fatalf("rebind at cap evicted %d flows, want 0", e)
+	}
+	if len(sh.flows) != 4 {
+		t.Fatalf("flows=%d want 4 (rebind must reuse the entry)", len(sh.flows))
+	}
+	f := sh.flows[flowKey{addr: src(1000), id: 1}]
+	if f == nil || f.rcv.Cum != 1 {
+		t.Fatalf("rebound flow not reset: %+v", f)
+	}
+
+	// A genuinely new 5th key now evicts the stalest flow — which is no
+	// longer the rebound one (its lastSeen moved to the rebind time).
+	sh.dispatch(src(2000), dataPkt(t, 50, 0, 100), 11)
+	if e := sh.ctr.evicted.Load(); e != 1 {
+		t.Fatalf("evicted=%d want 1", e)
+	}
+	if _, ok := sh.flows[flowKey{addr: src(1000), id: 1}]; !ok {
+		t.Fatal("freshly-rebound flow was evicted instead of the stalest")
+	}
+	if _, ok := sh.flows[flowKey{addr: src(1001), id: 2}]; ok {
+		t.Fatal("stalest flow (port 1001) survived; wrong eviction victim")
+	}
+}
+
 func TestFlowTableAckWithNoFlowIsCounted(t *testing.T) {
 	sh := newTestShard(t, Config{})
 	var ack wire.AckPacket

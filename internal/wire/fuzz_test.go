@@ -140,3 +140,28 @@ func FuzzDecodeSegment(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeBusy proves the overload push-back codec never panics and
+// that every accepted frame re-encodes byte-identically (fixed-length,
+// all header, so the round trip is total).
+func FuzzDecodeBusy(f *testing.F) {
+	var buf [BusyLen]byte
+	f.Add(append([]byte(nil), EncodeBusy(buf[:], BusyPacket{Flow: 9, RetryAfterMillis: 250})...))
+	f.Add(append([]byte(nil), EncodeBusy(buf[:], BusyPacket{Flow: 3 | FlowClassScavenger, RetryAfterMillis: MaxBusyRetryMillis, Shed: true})...))
+	f.Add([]byte{})
+	f.Add([]byte{typeBusy, 1})
+	f.Add(bytes.Repeat([]byte{0xff}, BusyLen))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		bp, err := DecodeBusy(b)
+		if err != nil {
+			return
+		}
+		if bp.RetryAfterMillis < 1 || bp.RetryAfterMillis > MaxBusyRetryMillis {
+			t.Fatalf("accepted out-of-range retry: %+v", bp)
+		}
+		out := EncodeBusy(buf[:], bp)
+		if !bytes.Equal(out, b) {
+			t.Fatalf("busy round-trip mismatch:\n in %x\nout %x", b, out)
+		}
+	})
+}

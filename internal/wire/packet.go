@@ -80,10 +80,24 @@ var (
 //	22  8   recvAt
 //	30  8   cumAck
 //	38  16n SACK blocks
+// Busy packet (type 0x59 'Y', BusyLen bytes, fixed length): the
+// receiver-side overload control frame. Sent instead of creating (or
+// while dropping) flow state when the receiving host is under
+// pressure, so a refused sender backs off with jittered exponential
+// retry instead of hammering a socket that cannot serve it:
+//
+//	off len field
+//	0   1   type   (0x59 'Y')
+//	1   1   version (1)
+//	2   4   flow    (the flow being refused or shed)
+//	6   4   retry-after hint, milliseconds (1..MaxBusyRetryMillis)
+//	10  1   flags   (bit 0: shed — existing flow state was dropped,
+//	            not just a new admission refused)
 const (
 	typeData  = 0x50
 	typeAck   = 0x41
 	typeAckV2 = 0x42
+	typeBusy  = 0x59
 
 	wireVersion   = 1
 	wireVersionV2 = 2
@@ -103,7 +117,26 @@ const (
 	// MaxDataLen is the largest acceptable data packet: the maximum
 	// UDP payload over IPv4 (65535 − 20 IP − 8 UDP).
 	MaxDataLen = 65507
+	// BusyLen is the exact length of a busy (overload push-back) packet.
+	BusyLen = 11
+	// MaxBusyRetryMillis bounds the retry-after hint a busy packet may
+	// carry (one minute): anything larger is a corrupt or hostile frame,
+	// not a plausible overload horizon.
+	MaxBusyRetryMillis = 60_000
 )
+
+// FlowClassScavenger is the flow-ID class bit: the engine sets the top
+// bit of the 32-bit wire flow ID on scavenger-class flows, so the
+// *receiving* host can apply the paper's utility ordering under its own
+// overload — shed scavengers first — without any extra header bytes.
+// Engine flow allocation counts up from 1, so the bit is unambiguous
+// until 2³¹ flows; legacy version-1 traffic (flow ID 0) reads as
+// primary, the conservative default.
+const FlowClassScavenger uint32 = 1 << 31
+
+// ScavengerID reports whether a wire flow ID carries the scavenger
+// class bit.
+func ScavengerID(id uint32) bool { return id&FlowClassScavenger != 0 }
 
 // DataHeader is the decoded header of a data packet.
 type DataHeader struct {
@@ -330,15 +363,86 @@ func DecodeAck(b []byte, a *AckPacket) error {
 	return nil
 }
 
+// BusyPacket is the decoded form of an overload push-back frame.
+type BusyPacket struct {
+	// Flow is the wire flow ID being refused or shed (class bit intact).
+	Flow uint32
+	// RetryAfterMillis is the receiver's back-off hint; the sender
+	// treats it as the base of a jittered exponential schedule.
+	RetryAfterMillis uint32
+	// Shed marks that existing flow state was dropped (not merely a new
+	// admission refused), so the sender should also expect its
+	// in-flight window to die.
+	Shed bool
+}
+
+const busyFlagShed = 0x01
+
+// EncodeBusy writes a busy packet into buf (len >= BusyLen) and
+// returns the packet slice. The retry hint is clamped into
+// [1, MaxBusyRetryMillis] so an encoded frame is always decodable.
+func EncodeBusy(buf []byte, bp BusyPacket) []byte {
+	retry := bp.RetryAfterMillis
+	if retry < 1 {
+		retry = 1
+	}
+	if retry > MaxBusyRetryMillis {
+		retry = MaxBusyRetryMillis
+	}
+	buf[0] = typeBusy
+	buf[1] = wireVersion
+	binary.BigEndian.PutUint32(buf[2:], bp.Flow)
+	binary.BigEndian.PutUint32(buf[6:], retry)
+	flags := byte(0)
+	if bp.Shed {
+		flags |= busyFlagShed
+	}
+	buf[10] = flags
+	return buf[:BusyLen]
+}
+
+// DecodeBusy parses a busy packet. It returns a nil error only for a
+// well-formed frame: exact length, known type/version, a retry hint in
+// [1, MaxBusyRetryMillis], and no unknown flag bits — an overload
+// frame is a demand to stop sending, so a corrupt one must be
+// countable garbage, never an accidental flow pause.
+func DecodeBusy(b []byte) (BusyPacket, error) {
+	if len(b) < BusyLen {
+		return BusyPacket{}, ErrTruncated
+	}
+	if b[0] != typeBusy {
+		return BusyPacket{}, ErrBadType
+	}
+	if len(b) > BusyLen {
+		return BusyPacket{}, ErrOversized
+	}
+	if b[1] != wireVersion {
+		return BusyPacket{}, ErrBadVersion
+	}
+	retry := binary.BigEndian.Uint32(b[6:])
+	if retry < 1 || retry > MaxBusyRetryMillis {
+		return BusyPacket{}, ErrInconsistent
+	}
+	if b[10]&^busyFlagShed != 0 {
+		return BusyPacket{}, ErrInconsistent
+	}
+	return BusyPacket{
+		Flow:             binary.BigEndian.Uint32(b[2:]),
+		RetryAfterMillis: retry,
+		Shed:             b[10]&busyFlagShed != 0,
+	}, nil
+}
+
 // PacketType classifies a raw datagram for the shim's proxy loop
 // without a full decode: 'P' for data, 'A' for acks (either version),
-// 'F' for fetch requests, 'S' for segments, 0 for junk.
+// 'F' for fetch requests, 'S' for segments, 'Y' for busy (overload
+// push-back), 0 for junk.
 func PacketType(b []byte) byte {
 	if len(b) == 0 {
 		return 0
 	}
 	switch b[0] {
-	case typeData, typeAck, typeFetch, typeSegment:
+	case typeData, typeAck, typeFetch, typeSegment, typeBusy:
 		return b[0]
 	case typeAckV2:
 		return typeAck

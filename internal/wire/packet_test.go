@@ -255,3 +255,70 @@ func TestPacerAccrualAndDelay(t *testing.T) {
 		t.Fatalf("backwards advance accrued %v tokens", p3.tokens)
 	}
 }
+
+func TestBusyPacketRoundtrip(t *testing.T) {
+	var buf [BusyLen]byte
+	cases := []BusyPacket{
+		{Flow: 7, RetryAfterMillis: 250},
+		{Flow: 12 | FlowClassScavenger, RetryAfterMillis: 1, Shed: true},
+		{Flow: 0, RetryAfterMillis: MaxBusyRetryMillis},
+	}
+	for _, bp := range cases {
+		pkt := EncodeBusy(buf[:], bp)
+		if len(pkt) != BusyLen {
+			t.Fatalf("encoded length %d want %d", len(pkt), BusyLen)
+		}
+		if PacketType(pkt) != typeBusy {
+			t.Fatal("PacketType should classify as busy")
+		}
+		got, err := DecodeBusy(pkt)
+		if err != nil || got != bp {
+			t.Fatalf("roundtrip: got %+v err=%v want %+v", got, err, bp)
+		}
+	}
+	// The encoder clamps out-of-range hints into the decodable range.
+	if got, err := DecodeBusy(EncodeBusy(buf[:], BusyPacket{RetryAfterMillis: 0})); err != nil || got.RetryAfterMillis != 1 {
+		t.Fatalf("zero hint not clamped: %+v err=%v", got, err)
+	}
+	if got, err := DecodeBusy(EncodeBusy(buf[:], BusyPacket{RetryAfterMillis: 1 << 30})); err != nil || got.RetryAfterMillis != MaxBusyRetryMillis {
+		t.Fatalf("huge hint not clamped: %+v err=%v", got, err)
+	}
+}
+
+func TestDecodeBusyRejectsMalformed(t *testing.T) {
+	var buf [BusyLen]byte
+	good := EncodeBusy(buf[:], BusyPacket{Flow: 5, RetryAfterMillis: 100})
+	mut := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		pkt  []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short", good[:BusyLen-1], ErrTruncated},
+		{"long", append(append([]byte(nil), good...), 0), ErrOversized},
+		{"wrong type", mut(func(b []byte) { b[0] = typeAck }), ErrBadType},
+		{"bad version", mut(func(b []byte) { b[1] = 99 }), ErrBadVersion},
+		{"zero retry", mut(func(b []byte) { b[6], b[7], b[8], b[9] = 0, 0, 0, 0 }), ErrInconsistent},
+		{"huge retry", mut(func(b []byte) { b[6] = 0xff }), ErrInconsistent},
+		{"unknown flags", mut(func(b []byte) { b[10] = 0x82 }), ErrInconsistent},
+	}
+	for _, c := range cases {
+		if _, err := DecodeBusy(c.pkt); err != c.want {
+			t.Errorf("%s: err=%v want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestScavengerID(t *testing.T) {
+	if ScavengerID(1) || ScavengerID(0) {
+		t.Fatal("plain ids must not be scavenger")
+	}
+	if !ScavengerID(1 | FlowClassScavenger) {
+		t.Fatal("class bit not detected")
+	}
+}

@@ -298,7 +298,9 @@ func (sh *Shim) readLoop() {
 			sh.handleBottleneck(buf, n, src, false)
 		case typeSegment:
 			sh.handleBottleneck(buf, n, src, true)
-		case typeAck:
+		case typeAck, typeBusy:
+			// Busy frames ride the reverse path exactly like acks: raw
+			// relay, no bottleneck emulation.
 			sh.handleAck(buf, n)
 		case typeFetch:
 			sh.handleFetch(buf, n, src)
